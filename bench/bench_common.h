@@ -1,0 +1,55 @@
+// Shared benchmark scaffolding.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace benchutil {
+
+inline std::string FreshDir(const std::string& tag) {
+  static std::atomic<uint64_t> counter{0};
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("ariesim_bench_" + tag + "_" +
+                      std::to_string(counter.fetch_add(1))))
+                        .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Default bench options: 4 KiB pages, no log fsync (we measure protocol
+/// pathlengths and concurrency, not disk latency — see EXPERIMENTS.md).
+inline Options BenchOptions() {
+  Options o;
+  o.buffer_pool_frames = 4096;
+  o.fsync_log = false;
+  return o;
+}
+
+inline const char* ProtocolName(LockingProtocolKind k) {
+  switch (k) {
+    case LockingProtocolKind::kDataOnly:
+      return "data_only";
+    case LockingProtocolKind::kIndexSpecific:
+      return "index_specific";
+    case LockingProtocolKind::kKeyValue:
+      return "kvl";
+    default:
+      return "none";
+  }
+}
+
+inline Rid BenchRid(uint64_t i) {
+  return Rid{static_cast<PageId>(100000 + i / 1000),
+             static_cast<uint16_t>(i % 1000)};
+}
+
+}  // namespace benchutil
+}  // namespace ariesim

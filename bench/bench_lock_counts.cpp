@@ -1,0 +1,159 @@
+// Experiment C2 / Figure 2 (see DESIGN.md §3): locks acquired per
+// single-record index operation under the three locking protocols.
+//
+// The paper's claim: ARIES/IM with data-only locking acquires the *minimal*
+// number of locks — the key lock is the record lock, so single-record
+// operations take fewer lock calls than index-specific locking (explicit
+// key locks) and ARIES/KVL (key-value locks + record locks). The reported
+// counter `locks_per_op` regenerates the comparison; `lock_calls_per_op`
+// counts lock-manager invocations including already-held re-requests.
+#include "bench_common.h"
+
+namespace ariesim {
+namespace {
+
+using benchutil::BenchOptions;
+using benchutil::BenchRid;
+using benchutil::FreshDir;
+using benchutil::ProtocolName;
+
+constexpr int kPreload = 2000;
+
+struct Env {
+  std::unique_ptr<Database> db;
+  BTree* tree;
+};
+
+Env MakeEnv(LockingProtocolKind proto, bool unique) {
+  Env env;
+  env.db = std::move(
+      Database::Open(FreshDir(std::string("locks_") + ProtocolName(proto)),
+                     BenchOptions())
+          .value());
+  env.db->CreateTable("t", 1).value();
+  env.tree =
+      env.db->CreateIndexWithProtocol("t", "ix", 0, unique, proto).value();
+  Transaction* txn = env.db->Begin();
+  Random rnd(7);
+  for (int i = 0; i < kPreload; ++i) {
+    (void)env.tree->Insert(txn, rnd.Key(static_cast<uint64_t>(i) * 2, 8),
+                           BenchRid(static_cast<uint64_t>(i)));
+  }
+  (void)env.db->Commit(txn);
+  return env;
+}
+
+void RunOp(benchmark::State& state, LockingProtocolKind proto,
+           const std::string& op) {
+  Env env = MakeEnv(proto, /*unique=*/false);
+  Random rnd(99);
+  uint64_t ops = 0;
+  uint64_t locks = 0;
+  uint64_t lock_calls = 0;
+  uint64_t i = 1;  // odd keys: absent from the preload
+  for (auto _ : state) {
+    uint64_t granted0 = env.db->metrics().locks_granted.load();
+    uint64_t calls0 = env.db->metrics().lock_requests.load();
+    Transaction* txn = env.db->Begin();
+    if (op == "insert") {
+      benchmark::DoNotOptimize(
+          env.tree->Insert(txn, rnd.Key(i, 8), BenchRid(10000 + i)));
+      i += 2;
+    } else if (op == "fetch") {
+      FetchResult r;
+      benchmark::DoNotOptimize(env.tree->Fetch(
+          txn, rnd.Key((ops * 2) % (kPreload * 2), 8), FetchCond::kEq, &r));
+    } else {  // delete (of a preloaded even key)
+      uint64_t k = (ops * 2) % (kPreload * 2);
+      benchmark::DoNotOptimize(
+          env.tree->Delete(txn, rnd.Key(k, 8), BenchRid(k / 2)));
+    }
+    (void)env.db->Commit(txn);
+    locks += env.db->metrics().locks_granted.load() - granted0;
+    lock_calls += env.db->metrics().lock_requests.load() - calls0;
+    ++ops;
+  }
+  state.counters["locks_per_op"] =
+      benchmark::Counter(static_cast<double>(locks) / static_cast<double>(ops));
+  state.counters["lock_calls_per_op"] = benchmark::Counter(
+      static_cast<double>(lock_calls) / static_cast<double>(ops));
+}
+
+void BM_Insert_DataOnly(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kDataOnly, "insert");
+}
+void BM_Insert_IndexSpecific(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kIndexSpecific, "insert");
+}
+void BM_Insert_KVL(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kKeyValue, "insert");
+}
+void BM_Fetch_DataOnly(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kDataOnly, "fetch");
+}
+void BM_Fetch_IndexSpecific(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kIndexSpecific, "fetch");
+}
+void BM_Fetch_KVL(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kKeyValue, "fetch");
+}
+void BM_Delete_DataOnly(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kDataOnly, "delete");
+}
+void BM_Delete_IndexSpecific(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kIndexSpecific, "delete");
+}
+void BM_Delete_KVL(benchmark::State& s) {
+  RunOp(s, LockingProtocolKind::kKeyValue, "delete");
+}
+
+BENCHMARK(BM_Insert_DataOnly)->Iterations(1000);
+BENCHMARK(BM_Insert_IndexSpecific)->Iterations(1000);
+BENCHMARK(BM_Insert_KVL)->Iterations(1000);
+BENCHMARK(BM_Fetch_DataOnly)->Iterations(1000);
+BENCHMARK(BM_Fetch_IndexSpecific)->Iterations(1000);
+BENCHMARK(BM_Fetch_KVL)->Iterations(1000);
+BENCHMARK(BM_Delete_DataOnly)->Iterations(1000);
+BENCHMARK(BM_Delete_IndexSpecific)->Iterations(1000);
+BENCHMARK(BM_Delete_KVL)->Iterations(1000);
+
+// Full-row operations through the Table layer (record manager locks
+// included): the end-to-end lock budget of a single-record transaction.
+void RowInsert(benchmark::State& state, LockingProtocolKind proto) {
+  auto db = std::move(
+      Database::Open(FreshDir(std::string("rowins_") + ProtocolName(proto)),
+                     BenchOptions())
+          .value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndexWithProtocol("t", "pk", 0, true, proto).value();
+  Table* table = db->GetTable("t");
+  uint64_t ops = 0, locks = 0;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    uint64_t granted0 = db->metrics().locks_granted.load();
+    Transaction* txn = db->Begin();
+    (void)table->Insert(txn, {"k" + std::to_string(i++), "v"});
+    (void)db->Commit(txn);
+    locks += db->metrics().locks_granted.load() - granted0;
+    ++ops;
+  }
+  state.counters["locks_per_row_insert"] =
+      benchmark::Counter(static_cast<double>(locks) / static_cast<double>(ops));
+}
+void BM_RowInsert_DataOnly(benchmark::State& s) {
+  RowInsert(s, LockingProtocolKind::kDataOnly);
+}
+void BM_RowInsert_IndexSpecific(benchmark::State& s) {
+  RowInsert(s, LockingProtocolKind::kIndexSpecific);
+}
+void BM_RowInsert_KVL(benchmark::State& s) {
+  RowInsert(s, LockingProtocolKind::kKeyValue);
+}
+BENCHMARK(BM_RowInsert_DataOnly)->Iterations(1000);
+BENCHMARK(BM_RowInsert_IndexSpecific)->Iterations(1000);
+BENCHMARK(BM_RowInsert_KVL)->Iterations(1000);
+
+}  // namespace
+}  // namespace ariesim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Baseline single-threaded operation costs: insert / point fetch / range
+// scan / delete through the full stack (WAL + buffer pool + locks +
+// ARIES/IM tree). Context for the other benches' numbers; also reports the
+// paper's efficiency metrics — log bytes per operation and page latches
+// per operation ("pathlength" proxies, §1).
+#include "bench_common.h"
+
+namespace ariesim {
+namespace {
+
+using benchutil::BenchOptions;
+using benchutil::FreshDir;
+
+struct Env {
+  std::unique_ptr<Database> db;
+  Table* table;
+};
+
+Env MakeEnv(int preload) {
+  Env env;
+  env.db = std::move(Database::Open(FreshDir("ops"), BenchOptions()).value());
+  env.db->CreateTable("t", 2).value();
+  env.db->CreateIndex("t", "pk", 0, true).value();
+  env.table = env.db->GetTable("t");
+  Transaction* txn = env.db->Begin();
+  for (int i = 0; i < preload; ++i) {
+    (void)env.table->Insert(
+        txn, {"p" + Random(0).Key(static_cast<uint64_t>(i), 7), "v"});
+    if (i % 1000 == 999) {
+      (void)env.db->Commit(txn);
+      txn = env.db->Begin();
+    }
+  }
+  (void)env.db->Commit(txn);
+  return env;
+}
+
+void BM_RowInsert(benchmark::State& state) {
+  Env env = MakeEnv(10000);
+  uint64_t i = 0;
+  uint64_t bytes0 = env.db->metrics().log_bytes.load();
+  uint64_t latches0 = env.db->metrics().page_latch_acquisitions.load();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    Transaction* txn = env.db->Begin();
+    benchmark::DoNotOptimize(
+        env.table->Insert(txn, {"n" + std::to_string(i++), "v"}));
+    (void)env.db->Commit(txn);
+    ++ops;
+  }
+  state.counters["log_bytes_per_op"] = benchmark::Counter(
+      static_cast<double>(env.db->metrics().log_bytes.load() - bytes0) /
+      static_cast<double>(ops));
+  state.counters["latches_per_op"] = benchmark::Counter(
+      static_cast<double>(env.db->metrics().page_latch_acquisitions.load() -
+                          latches0) /
+      static_cast<double>(ops));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_RowInsert);
+
+void BM_PointFetch(benchmark::State& state) {
+  Env env = MakeEnv(10000);
+  Random rnd(5);
+  uint64_t latches0 = env.db->metrics().page_latch_acquisitions.load();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    Transaction* txn = env.db->Begin();
+    std::optional<Row> row;
+    benchmark::DoNotOptimize(env.table->FetchByKey(
+        txn, "pk", "p" + rnd.Key(rnd.Uniform(10000), 7), &row));
+    (void)env.db->Commit(txn);
+    ++ops;
+  }
+  state.counters["latches_per_op"] = benchmark::Counter(
+      static_cast<double>(env.db->metrics().page_latch_acquisitions.load() -
+                          latches0) /
+      static_cast<double>(ops));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_PointFetch);
+
+void BM_RangeScan100(benchmark::State& state) {
+  Env env = MakeEnv(10000);
+  Random rnd(6);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    Transaction* txn = env.db->Begin();
+    TableScan scan(env.table, env.db->GetIndex("pk"));
+    uint64_t start = rnd.Uniform(9000);
+    (void)scan.Open(txn, "p" + rnd.Key(start, 7), FetchCond::kGe);
+    for (int i = 0; i < 100; ++i) {
+      Row row;
+      Rid rid;
+      bool done = false;
+      if (!scan.Next(txn, &row, &rid, &done).ok() || done) break;
+      ++rows;
+    }
+    (void)env.db->Commit(txn);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_RangeScan100);
+
+void BM_RowDelete(benchmark::State& state) {
+  // Fresh rows are inserted outside the timed region, deleted inside it.
+  Env env = MakeEnv(1000);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rid rid;
+    {
+      Transaction* setup = env.db->Begin();
+      (void)env.table->Insert(setup, {"d" + std::to_string(i++), "v"}, &rid);
+      (void)env.db->Commit(setup);
+    }
+    state.ResumeTiming();
+    Transaction* txn = env.db->Begin();
+    benchmark::DoNotOptimize(env.table->Delete(txn, rid));
+    (void)env.db->Commit(txn);
+  }
+}
+BENCHMARK(BM_RowDelete)->Iterations(2000);
+
+void BM_CommitWithFsync(benchmark::State& state) {
+  // Durability cost: same single-row insert but with fdatasync at commit —
+  // the synchronous-log-I/O number the paper counts as an efficiency metric.
+  Options opts = BenchOptions();
+  opts.fsync_log = true;
+  auto db = std::move(Database::Open(FreshDir("fsync"), opts).value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndex("t", "pk", 0, true).value();
+  Table* table = db->GetTable("t");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    benchmark::DoNotOptimize(table->Insert(txn, {"f" + std::to_string(i++), "v"}));
+    (void)db->Commit(txn);
+  }
+}
+BENCHMARK(BM_CommitWithFsync)->Iterations(500)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ariesim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Experiment C5 (see DESIGN.md §3): rollback cost and the undo-path split.
+//
+//   - BM_Rollback/N          : total rollback of a transaction with N row
+//                              inserts; reports CLR bytes logged per undo.
+//   - BM_RollbackAfterSplits : rollback after the transaction's inserts
+//                              forced many SMOs — the completed splits are
+//                              NOT undone (nested top actions); reports the
+//                              page-oriented vs logical undo mix.
+//   - BM_SavepointRollback   : partial rollback cost.
+#include "bench_common.h"
+
+namespace ariesim {
+namespace {
+
+using benchutil::BenchOptions;
+using benchutil::BenchRid;
+using benchutil::FreshDir;
+
+void BM_Rollback(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto db =
+      std::move(Database::Open(FreshDir("rollback"), BenchOptions()).value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndex("t", "pk", 0, true).value();
+  Table* table = db->GetTable("t");
+  uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < n; ++i) {
+      (void)table->Insert(
+          txn, {"r" + std::to_string(round) + "-" + std::to_string(i), "v"});
+    }
+    uint64_t bytes0 = db->metrics().log_bytes.load();
+    state.ResumeTiming();
+    (void)db->Rollback(txn);
+    state.PauseTiming();
+    state.counters["clr_bytes_per_op"] = benchmark::Counter(
+        static_cast<double>(db->metrics().log_bytes.load() - bytes0) /
+        static_cast<double>(n));
+    ++round;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Rollback)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond)->Iterations(10);
+
+void BM_RollbackAfterSplits(benchmark::State& state) {
+  Options opts = BenchOptions();
+  opts.page_size = 512;
+  auto db =
+      std::move(Database::Open(FreshDir("rollback_smo"), opts).value());
+  db->CreateTable("t", 1).value();
+  BTree* tree = db->CreateIndexWithProtocol("t", "ix", 0, false,
+                                            LockingProtocolKind::kNone)
+                    .value();
+  uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Transaction* txn = db->Begin();
+    Random rnd(round);
+    for (uint64_t i = 0; i < 2000; ++i) {
+      (void)tree->Insert(txn, "s" + rnd.Key(rnd.Uniform(1000000), 7),
+                         BenchRid(round * 10000 + i));
+    }
+    uint64_t splits = db->metrics().smo_splits.load();
+    uint64_t po0 = db->metrics().page_oriented_undos.load();
+    uint64_t lo0 = db->metrics().logical_undos.load();
+    state.ResumeTiming();
+    (void)db->Rollback(txn);
+    state.PauseTiming();
+    state.counters["splits_performed"] =
+        benchmark::Counter(static_cast<double>(splits));
+    state.counters["page_oriented_undos"] = benchmark::Counter(
+        static_cast<double>(db->metrics().page_oriented_undos.load() - po0));
+    state.counters["logical_undos"] = benchmark::Counter(
+        static_cast<double>(db->metrics().logical_undos.load() - lo0));
+    ++round;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_RollbackAfterSplits)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_SavepointRollback(benchmark::State& state) {
+  auto db =
+      std::move(Database::Open(FreshDir("savepoint"), BenchOptions()).value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndex("t", "pk", 0, true).value();
+  Table* table = db->GetTable("t");
+  uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Transaction* txn = db->Begin();
+    (void)table->Insert(txn, {"keep" + std::to_string(round), "v"});
+    Lsn sp = txn->Savepoint();
+    for (int i = 0; i < 100; ++i) {
+      (void)table->Insert(
+          txn, {"sp" + std::to_string(round) + "-" + std::to_string(i), "v"});
+    }
+    state.ResumeTiming();
+    (void)db->RollbackToSavepoint(txn, sp);
+    state.PauseTiming();
+    (void)db->Commit(txn);
+    ++round;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SavepointRollback)->Unit(benchmark::kMicrosecond)->Iterations(10);
+
+}  // namespace
+}  // namespace ariesim
+
+BENCHMARK_MAIN();

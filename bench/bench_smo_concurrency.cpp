@@ -1,0 +1,131 @@
+// Experiment C1 (see DESIGN.md §3): retrievals, inserts and deletes proceed
+// concurrently with SMOs (paper §2.1 points 2-3).
+//
+// A split-heavy writer runs continuously while reader threads fetch random
+// keys. Two configurations:
+//   aries_im  — the paper's protocol: the tree latch is taken only for the
+//               SMO propagation window; traversals never take it.
+//   blocking  — ablation baseline (block_traversal_during_smo): every
+//               operation serializes on the tree latch, modeling designs
+//               where SMOs block concurrent traversals.
+// Reported: reader throughput (fetches/sec) while splits are in progress.
+// The paper's qualitative prediction: aries_im sustains reader throughput
+// under SMO traffic; blocking collapses.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ariesim {
+namespace {
+
+using benchutil::BenchOptions;
+using benchutil::BenchRid;
+using benchutil::FreshDir;
+
+void RunSmoConcurrency(benchmark::State& state, bool blocking) {
+  int readers = static_cast<int>(state.range(0));
+  Options opts = BenchOptions();
+  opts.page_size = 512;        // small pages: splits are frequent
+  opts.buffer_pool_frames = 96;  // working set >> pool: SMOs and reads miss
+  opts.sim_io_delay_us = 100;    // and every miss pays simulated device
+                                 // latency, so holding the tree latch across
+                                 // an operation's I/O has a visible cost
+  opts.block_traversal_during_smo = blocking;
+  auto db = std::move(
+      Database::Open(FreshDir(blocking ? "smo_block" : "smo_aries"), opts)
+          .value());
+  db->CreateTable("t", 1).value();
+  BTree* tree = db->CreateIndexWithProtocol("t", "ix", 0, false,
+                                            LockingProtocolKind::kNone)
+                    .value();
+  // Preload far more keys than the pool holds.
+  {
+    Transaction* txn = db->Begin();
+    Random rnd(1);
+    for (uint64_t i = 0; i < 20000; ++i) {
+      (void)tree->Insert(txn, "k" + rnd.Key(i, 7), BenchRid(i));
+      if (i % 4000 == 3999) {
+        (void)db->Commit(txn);
+        txn = db->Begin();
+      }
+    }
+    (void)db->Commit(txn);
+  }
+
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    // Split-heavy writer.
+    std::thread writer([&] {
+      Random rnd(2);
+      uint64_t i = 100000;
+      while (!stop.load()) {
+        Transaction* txn = db->Begin();
+        for (int j = 0; j < 20; ++j) {
+          (void)tree->Insert(txn, "k" + rnd.Key(i++, 7), BenchRid(i));
+        }
+        (void)db->Commit(txn);
+        writes.fetch_add(20);
+      }
+    });
+    std::vector<std::thread> rs;
+    for (int r = 0; r < readers; ++r) {
+      rs.emplace_back([&, r] {
+        Random rnd(100 + static_cast<uint64_t>(r));
+        while (!stop.load()) {
+          Transaction* txn = db->Begin();
+          FetchResult fr;
+          (void)tree->Fetch(txn, "k" + rnd.Key(rnd.Uniform(20000), 7),
+                            FetchCond::kGe, &fr);
+          (void)db->Commit(txn);
+          reads.fetch_add(1);
+        }
+      });
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    stop = true;
+    writer.join();
+    for (auto& t : rs) t.join();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    state.counters["reader_ops_per_sec"] = benchmark::Counter(
+        static_cast<double>(reads.load()) / secs);
+    state.counters["writer_ops_per_sec"] = benchmark::Counter(
+        static_cast<double>(writes.load()) / secs);
+    state.counters["splits"] = benchmark::Counter(
+        static_cast<double>(db->metrics().smo_splits.load()));
+    state.counters["smo_waits"] = benchmark::Counter(
+        static_cast<double>(db->metrics().smo_waits.load()));
+  }
+}
+
+void BM_ReadersDuringSmos_AriesIm(benchmark::State& s) {
+  RunSmoConcurrency(s, /*blocking=*/false);
+}
+void BM_ReadersDuringSmos_Blocking(benchmark::State& s) {
+  RunSmoConcurrency(s, /*blocking=*/true);
+}
+BENCHMARK(BM_ReadersDuringSmos_AriesIm)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ReadersDuringSmos_Blocking)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace ariesim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,217 @@
+// Experiment C3 (see DESIGN.md §3): multithreaded mixed-workload throughput
+// across locking protocols and thread counts.
+//
+// Workload: each transaction does 4 operations over a shared table with a
+// unique index (60% point fetch, 25% insert, 15% delete) on a moderately
+// contended keyspace. Reported: committed transactions per second and the
+// deadlock-victim rate. The paper's qualitative prediction: data-only
+// locking ≥ index-specific > KVL (coarser value locks serialize readers
+// against writers of the same value and take more locks per op).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ariesim {
+namespace {
+
+using benchutil::BenchOptions;
+using benchutil::FreshDir;
+using benchutil::ProtocolName;
+
+void RunMix(benchmark::State& state, LockingProtocolKind proto) {
+  int threads = static_cast<int>(state.range(0));
+  auto db = std::move(
+      Database::Open(FreshDir(std::string("tp_") + ProtocolName(proto)),
+                     BenchOptions())
+          .value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndexWithProtocol("t", "pk", 0, true, proto).value();
+  Table* table = db->GetTable("t");
+  {
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < 2000; ++i) {
+      (void)table->Insert(txn, {"k" + Random(0).Key(static_cast<uint64_t>(i), 6),
+                                "seed"});
+    }
+    (void)db->Commit(txn);
+  }
+
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> commits{0}, deadlocks{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+      ts.emplace_back([&, t] {
+        Random rnd(1000 + static_cast<uint64_t>(t));
+        while (!stop.load()) {
+          Transaction* txn = db->Begin();
+          bool dead = false;
+          for (int op = 0; op < 4 && !dead; ++op) {
+            std::string key = "k" + rnd.Key(rnd.Uniform(4000), 6);
+            uint32_t dice = static_cast<uint32_t>(rnd.Uniform(100));
+            if (dice < 60) {
+              std::optional<Row> row;
+              Status s = table->FetchByKey(txn, "pk", key, &row);
+              if (s.IsDeadlock()) dead = true;
+            } else if (dice < 85) {
+              Status s = table->Insert(txn, {key, "v"});
+              if (s.IsDeadlock()) dead = true;
+            } else {
+              std::optional<Row> row;
+              Rid rid;
+              Status s = table->FetchByKey(txn, "pk", key, &row, &rid);
+              if (s.IsDeadlock()) {
+                dead = true;
+              } else if (s.ok() && row.has_value()) {
+                s = table->Delete(txn, rid);
+                if (s.IsDeadlock()) dead = true;
+              }
+            }
+          }
+          if (dead) {
+            deadlocks.fetch_add(1);
+            (void)db->Rollback(txn);
+          } else if (db->Commit(txn).ok()) {
+            commits.fetch_add(1);
+          }
+        }
+      });
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    stop = true;
+    for (auto& t : ts) t.join();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    state.counters["txns_per_sec"] =
+        benchmark::Counter(static_cast<double>(commits.load()) / secs);
+    state.counters["deadlocks_per_sec"] =
+        benchmark::Counter(static_cast<double>(deadlocks.load()) / secs);
+    state.counters["lock_waits"] = benchmark::Counter(
+        static_cast<double>(db->metrics().lock_waits.load()));
+  }
+}
+
+void BM_Mix_DataOnly(benchmark::State& s) {
+  RunMix(s, LockingProtocolKind::kDataOnly);
+}
+void BM_Mix_IndexSpecific(benchmark::State& s) {
+  RunMix(s, LockingProtocolKind::kIndexSpecific);
+}
+void BM_Mix_KVL(benchmark::State& s) {
+  RunMix(s, LockingProtocolKind::kKeyValue);
+}
+BENCHMARK(BM_Mix_DataOnly)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Mix_IndexSpecific)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Mix_KVL)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Hot nonunique values: the §1 KVL criticism made measurable.
+//
+// A nonunique index over a handful of hot category values. Readers fetch a
+// key of category C (current-key S lock); writers insert rows of category C.
+// Under ARIES/KVL the lock name is the *value* C: a reader's S conflicts
+// with every uncommitted inserter's IX on C, serializing the hot value.
+// Under data-only (and index-specific) locking each key/RID has its own
+// name, so readers and writers of different rows sharing C do not conflict.
+// ---------------------------------------------------------------------------
+
+void RunHotValues(benchmark::State& state, LockingProtocolKind proto) {
+  int threads = static_cast<int>(state.range(0));
+  auto db = std::move(
+      Database::Open(FreshDir(std::string("hot_") + ProtocolName(proto)),
+                     BenchOptions())
+          .value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndexWithProtocol("t", "by_cat", 1, /*unique=*/false, proto).value();
+  Table* table = db->GetTable("t");
+  constexpr int kCategories = 8;
+  {
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < 800; ++i) {
+      (void)table->Insert(txn, {"row" + std::to_string(i),
+                                "cat" + std::to_string(i % kCategories)});
+    }
+    (void)db->Commit(txn);
+  }
+
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> commits{0}, deadlocks{0};
+    std::atomic<uint64_t> next_row{100000};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+      ts.emplace_back([&, t] {
+        Random rnd(500 + static_cast<uint64_t>(t));
+        BTree* ix = db->GetIndex("by_cat");
+        while (!stop.load()) {
+          Transaction* txn = db->Begin();
+          bool dead = false;
+          std::string cat = "cat" + std::to_string(rnd.Uniform(kCategories));
+          if (rnd.Percent(70)) {
+            // Read one key of the hot category.
+            FetchResult r;
+            Status s = ix->Fetch(txn, cat, FetchCond::kGe, &r);
+            if (s.IsDeadlock()) dead = true;
+          } else {
+            Status s = table->Insert(
+                txn, {"row" + std::to_string(next_row.fetch_add(1)), cat});
+            if (s.IsDeadlock()) dead = true;
+          }
+          if (dead) {
+            deadlocks.fetch_add(1);
+            (void)db->Rollback(txn);
+          } else if (db->Commit(txn).ok()) {
+            commits.fetch_add(1);
+          }
+        }
+      });
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    stop = true;
+    for (auto& t : ts) t.join();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    state.counters["txns_per_sec"] =
+        benchmark::Counter(static_cast<double>(commits.load()) / secs);
+    state.counters["lock_waits"] = benchmark::Counter(
+        static_cast<double>(db->metrics().lock_waits.load()));
+    state.counters["deadlocks_per_sec"] =
+        benchmark::Counter(static_cast<double>(deadlocks.load()) / secs);
+  }
+}
+
+void BM_HotValues_DataOnly(benchmark::State& s) {
+  RunHotValues(s, LockingProtocolKind::kDataOnly);
+}
+void BM_HotValues_IndexSpecific(benchmark::State& s) {
+  RunHotValues(s, LockingProtocolKind::kIndexSpecific);
+}
+void BM_HotValues_KVL(benchmark::State& s) {
+  RunHotValues(s, LockingProtocolKind::kKeyValue);
+}
+BENCHMARK(BM_HotValues_DataOnly)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_HotValues_IndexSpecific)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_HotValues_KVL)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace ariesim
+
+BENCHMARK_MAIN();

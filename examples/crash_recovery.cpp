@@ -1,0 +1,94 @@
+// Crash-recovery walkthrough: builds up committed and uncommitted work,
+// simulates a crash, reopens the database, and narrates what the ARIES
+// three-pass restart did — including an SMO caught in flight.
+//
+//   ./build/examples/crash_recovery [db-dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "db/database.h"
+#include "util/random.h"
+
+using namespace ariesim;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/ariesim_crash_demo";
+  std::filesystem::remove_all(dir);
+
+  Options options;
+  options.page_size = 512;  // tiny pages so splits happen quickly
+  {
+    auto db = std::move(Database::Open(dir, options).value());
+    Table* t = db->CreateTable("kv", 2).value();
+    db->CreateIndex("kv", "kv_pk", 0, true).value();
+
+    // Committed work — must survive.
+    Transaction* committed = db->Begin();
+    Random rnd(1);
+    for (int i = 0; i < 150; ++i) {
+      Status s = t->Insert(committed, {"committed-" + rnd.Key(i, 5), "x"});
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!db->Commit(committed).ok()) return 1;
+    std::printf("committed 150 rows (with %lu page splits so far)\n",
+                static_cast<unsigned long>(db->metrics().smo_splits.load()));
+
+    // Uncommitted work — must vanish.
+    Transaction* loser = db->Begin();
+    for (int i = 0; i < 60; ++i) {
+      (void)t->Insert(loser, {"loser-" + rnd.Key(i, 5), "x"});
+    }
+    // Steal: force the log and some dirty pages to disk so the loser's
+    // changes are partially on disk — the case undo exists for.
+    (void)db->wal()->FlushAll();
+    for (PageId pid = 0; pid < 60; pid += 2) (void)db->FlushPage(pid);
+    std::printf("loser inserted 60 rows (uncommitted), pages partially stolen\n");
+
+    std::printf(">>> CRASH <<<\n");
+    db->SimulateCrash();
+  }
+
+  auto db = std::move(Database::Open(dir, options).value());
+  const RestartStats& st = db->restart_stats();
+  std::printf("restart recovery:\n");
+  std::printf("  analysis scanned %lu records\n",
+              static_cast<unsigned long>(st.analysis_records));
+  std::printf("  redo applied %lu of %lu candidate records (page-oriented)\n",
+              static_cast<unsigned long>(st.redo_applied),
+              static_cast<unsigned long>(st.redo_records));
+  std::printf("  undo rolled back %lu loser txns over %lu records\n",
+              static_cast<unsigned long>(st.loser_txns),
+              static_cast<unsigned long>(st.undo_records));
+  std::printf("  undo paths: %lu page-oriented, %lu logical\n",
+              static_cast<unsigned long>(
+                  db->metrics().page_oriented_undos.load()),
+              static_cast<unsigned long>(db->metrics().logical_undos.load()));
+
+  Table* t = db->GetTable("kv");
+  BTree* tree = db->GetIndex("kv_pk");
+  size_t keys = 0;
+  Status vs = tree->Validate(&keys);
+  std::printf("index validation: %s, %zu keys\n", vs.ToString().c_str(), keys);
+
+  Transaction* check = db->Begin();
+  std::optional<Row> row;
+  Random rnd(1);
+  int committed_found = 0, loser_found = 0;
+  for (int i = 0; i < 150; ++i) {
+    (void)t->FetchByKey(check, "kv_pk", "committed-" + rnd.Key(i, 5), &row);
+    if (row.has_value()) ++committed_found;
+  }
+  for (int i = 0; i < 60; ++i) {
+    (void)t->FetchByKey(check, "kv_pk", "loser-" + rnd.Key(i, 5), &row);
+    if (row.has_value()) ++loser_found;
+  }
+  (void)db->Commit(check);
+  std::printf("committed rows present: %d/150, loser rows present: %d/60\n",
+              committed_found, loser_found);
+  bool ok = vs.ok() && committed_found == 150 && loser_found == 0 && keys == 150;
+  std::printf("%s\n", ok ? "RECOVERY CORRECT" : "RECOVERY BROKEN");
+  return ok ? 0 : 1;
+}

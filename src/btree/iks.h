@@ -1,0 +1,100 @@
+// Index key and cell encodings.
+//
+// A leaf key is a (key-value, RID) pair (paper §1.1); nonunique indexes are
+// supported by making the RID part of the key, so every stored key is
+// distinct. Nonleaf pages hold (high-key, child) entries; the rightmost
+// entry carries no high key (represented by an "infinity" sentinel).
+//
+// Cell layouts:
+//   leaf cell:     [u16 vlen][value bytes][u32 rid.page][u16 rid.slot]
+//   internal cell: [u16 vlen][value bytes][u32 rid.page][u16 rid.slot][u32 child]
+//   vlen == 0xFFFF encodes the +infinity high key (no value bytes follow).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "util/coding.h"
+
+namespace ariesim {
+namespace bt {
+
+inline constexpr uint16_t kInfKeyLen = 0xFFFF;
+
+/// Largest possible RID; used as a composite-search sentinel for strict
+/// "greater than this key value" searches.
+inline constexpr Rid kMaxRid{0xFFFFFFFEu, 0xFFFFu};
+
+struct LeafEntry {
+  std::string_view value;
+  Rid rid;
+};
+
+struct InternalEntry {
+  bool inf = false;          ///< +infinity high key (rightmost child)
+  std::string_view value;    ///< valid when !inf
+  Rid rid;                   ///< valid when !inf
+  PageId child = kInvalidPageId;
+};
+
+inline int CompareKey(std::string_view av, Rid ar, std::string_view bv, Rid br) {
+  int c = av.compare(bv);
+  if (c != 0) return c < 0 ? -1 : 1;
+  if (ar < br) return -1;
+  if (br < ar) return 1;
+  return 0;
+}
+
+inline std::string EncodeLeafCell(std::string_view value, Rid rid) {
+  std::string cell;
+  PutFixed16(&cell, static_cast<uint16_t>(value.size()));
+  cell.append(value);
+  PutFixed32(&cell, rid.page_id);
+  PutFixed16(&cell, rid.slot);
+  return cell;
+}
+
+inline LeafEntry DecodeLeafCell(std::string_view cell) {
+  uint16_t vlen = DecodeFixed16(cell.data());
+  LeafEntry e;
+  e.value = cell.substr(2, vlen);
+  e.rid.page_id = DecodeFixed32(cell.data() + 2 + vlen);
+  e.rid.slot = DecodeFixed16(cell.data() + 2 + vlen + 4);
+  return e;
+}
+
+inline std::string EncodeInternalCell(bool inf, std::string_view value, Rid rid,
+                                      PageId child) {
+  std::string cell;
+  if (inf) {
+    PutFixed16(&cell, kInfKeyLen);
+    PutFixed32(&cell, 0);
+    PutFixed16(&cell, 0);
+  } else {
+    PutFixed16(&cell, static_cast<uint16_t>(value.size()));
+    cell.append(value);
+    PutFixed32(&cell, rid.page_id);
+    PutFixed16(&cell, rid.slot);
+  }
+  PutFixed32(&cell, child);
+  return cell;
+}
+
+inline InternalEntry DecodeInternalCell(std::string_view cell) {
+  InternalEntry e;
+  uint16_t vlen = DecodeFixed16(cell.data());
+  if (vlen == kInfKeyLen) {
+    e.inf = true;
+    e.child = DecodeFixed32(cell.data() + 2 + 4 + 2);
+    return e;
+  }
+  e.value = cell.substr(2, vlen);
+  e.rid.page_id = DecodeFixed32(cell.data() + 2 + vlen);
+  e.rid.slot = DecodeFixed16(cell.data() + 2 + vlen + 4);
+  e.child = DecodeFixed32(cell.data() + 2 + vlen + 4 + 2);
+  return e;
+}
+
+}  // namespace bt
+}  // namespace ariesim

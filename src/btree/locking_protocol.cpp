@@ -1,0 +1,166 @@
+#include "btree/locking_protocol.h"
+
+namespace ariesim {
+
+namespace {
+
+uint64_t HashKeyValue(std::string_view v) {
+  // FNV-1a 64.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : v) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// ARIES/IM data-only locking: key lock == record (or page/table) lock.
+class DataOnlyProtocol final : public LockingProtocol {
+ public:
+  DataOnlyProtocol(LockManager* locks, ObjectId index_id, ObjectId table_id,
+                   LockGranularity g)
+      : locks_(locks), index_id_(index_id), table_id_(table_id), g_(g) {}
+
+  LockName NameOf(const IndexKeyRef& k) const {
+    if (k.eof) return LockName::IndexEof(index_id_);
+    return DataLockName(g_, table_id_, k.rid);
+  }
+
+  Status LockFetchCurrent(Transaction* txn, const IndexKeyRef& key,
+                          bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(key), LockMode::kS,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockUniqueCheck(Transaction* txn, const IndexKeyRef& key,
+                         bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(key), LockMode::kS,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockInsertNext(Transaction* txn, const IndexKeyRef& next,
+                        std::string_view, bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(next), LockMode::kX,
+                        LockDuration::kInstant, conditional);
+  }
+  Status LockInsertCurrent(Transaction*, std::string_view, Rid, bool) override {
+    // The record manager already holds the commit-duration X lock on the
+    // record; the key needs no further lock (paper §2.1).
+    return Status::OK();
+  }
+  Status LockDeleteNext(Transaction* txn, const IndexKeyRef& next,
+                        std::string_view, bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(next), LockMode::kX,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockDeleteCurrent(Transaction*, std::string_view, Rid, bool) override {
+    return Status::OK();
+  }
+
+ private:
+  LockManager* locks_;
+  ObjectId index_id_;
+  ObjectId table_id_;
+  LockGranularity g_;
+};
+
+/// ARIES/IM index-specific locking variant: locks (index, key-value, RID)
+/// names; current-key locks are explicit (paper Figure 2, right column).
+class IndexSpecificProtocol final : public LockingProtocol {
+ public:
+  IndexSpecificProtocol(LockManager* locks, ObjectId index_id)
+      : locks_(locks), index_id_(index_id) {}
+
+  LockName NameOf(const IndexKeyRef& k) const {
+    if (k.eof) return LockName::IndexEof(index_id_);
+    return LockName::Key(index_id_, HashKeyValue(k.value), k.rid);
+  }
+
+  Status LockFetchCurrent(Transaction* txn, const IndexKeyRef& key,
+                          bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(key), LockMode::kS,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockUniqueCheck(Transaction* txn, const IndexKeyRef& key,
+                         bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(key), LockMode::kS,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockInsertNext(Transaction* txn, const IndexKeyRef& next,
+                        std::string_view, bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(next), LockMode::kX,
+                        LockDuration::kInstant, conditional);
+  }
+  Status LockInsertCurrent(Transaction* txn, std::string_view value, Rid rid,
+                           bool conditional) override {
+    // "X for commit duration if index-specific locking is used" (Fig 2).
+    return locks_->Lock(txn->id(),
+                        LockName::Key(index_id_, HashKeyValue(value), rid),
+                        LockMode::kX, LockDuration::kCommit, conditional);
+  }
+  Status LockDeleteNext(Transaction* txn, const IndexKeyRef& next,
+                        std::string_view, bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(next), LockMode::kX,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockDeleteCurrent(Transaction* txn, std::string_view value, Rid rid,
+                           bool conditional) override {
+    // "X for instant duration if index-specific locking is used" (Fig 2).
+    return locks_->Lock(txn->id(),
+                        LockName::Key(index_id_, HashKeyValue(value), rid),
+                        LockMode::kX, LockDuration::kInstant, conditional);
+  }
+
+ private:
+  LockManager* locks_;
+  ObjectId index_id_;
+};
+
+/// No index-level locking (single-threaded benchmarking only).
+class NoneProtocol final : public LockingProtocol {
+ public:
+  Status LockFetchCurrent(Transaction*, const IndexKeyRef&, bool) override {
+    return Status::OK();
+  }
+  Status LockUniqueCheck(Transaction*, const IndexKeyRef&, bool) override {
+    return Status::OK();
+  }
+  Status LockInsertNext(Transaction*, const IndexKeyRef&, std::string_view,
+                        bool) override {
+    return Status::OK();
+  }
+  Status LockInsertCurrent(Transaction*, std::string_view, Rid, bool) override {
+    return Status::OK();
+  }
+  Status LockDeleteNext(Transaction*, const IndexKeyRef&, std::string_view,
+                        bool) override {
+    return Status::OK();
+  }
+  Status LockDeleteCurrent(Transaction*, std::string_view, Rid, bool) override {
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+// KvlProtocol lives in src/kvl/kvl_protocol.cpp; declared here for the
+// factory.
+std::unique_ptr<LockingProtocol> MakeKvlProtocol(LockManager* locks,
+                                                 ObjectId index_id, bool unique);
+
+std::unique_ptr<LockingProtocol> MakeLockingProtocol(
+    LockingProtocolKind kind, LockManager* locks, ObjectId index_id,
+    ObjectId table_id, bool unique, LockGranularity granularity) {
+  switch (kind) {
+    case LockingProtocolKind::kDataOnly:
+      return std::make_unique<DataOnlyProtocol>(locks, index_id, table_id,
+                                                granularity);
+    case LockingProtocolKind::kIndexSpecific:
+      return std::make_unique<IndexSpecificProtocol>(locks, index_id);
+    case LockingProtocolKind::kKeyValue:
+      return MakeKvlProtocol(locks, index_id, unique);
+    case LockingProtocolKind::kNone:
+    default:
+      return std::make_unique<NoneProtocol>();
+  }
+}
+
+}  // namespace ariesim

@@ -1,0 +1,441 @@
+#include "btree/node.h"
+
+namespace ariesim {
+namespace bt {
+
+// -- search ------------------------------------------------------------------
+
+uint16_t LeafLowerBound(const PageView& v, std::string_view value, Rid rid,
+                        bool* exact) {
+  if (exact != nullptr) *exact = false;
+  uint16_t lo = 0, hi = v.slot_count();
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    LeafEntry e = DecodeLeafCell(v.Cell(mid));
+    int c = CompareKey(e.value, e.rid, value, rid);
+    if (c < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      if (c == 0 && exact != nullptr) *exact = true;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t InternalChildIndex(const PageView& v, std::string_view value, Rid rid) {
+  // First entry whose separator is strictly greater than (value, rid); the
+  // inf sentinel is greater than everything.
+  uint16_t lo = 0, hi = v.slot_count();
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    InternalEntry e = DecodeInternalCell(v.Cell(mid));
+    bool greater = e.inf || CompareKey(e.value, e.rid, value, rid) > 0;
+    if (greater) {
+      hi = mid;
+    } else {
+      lo = static_cast<uint16_t>(mid + 1);
+    }
+  }
+  return lo;  // == slot_count() only if no inf entry exists (corruption)
+}
+
+bool KeyWithinHighest(const PageView& v, std::string_view value, Rid rid) {
+  uint16_t n = v.slot_count();
+  if (n == 0) return false;
+  if (v.type() == PageType::kBtreeLeaf) {
+    LeafEntry e = DecodeLeafCell(v.Cell(static_cast<uint16_t>(n - 1)));
+    return CompareKey(value, rid, e.value, e.rid) <= 0;
+  }
+  // Internal: highest *finite* separator. The inf sentinel (if present) is
+  // the last entry; the finite high keys precede it.
+  for (int i = n - 1; i >= 0; --i) {
+    InternalEntry e = DecodeInternalCell(v.Cell(static_cast<uint16_t>(i)));
+    if (e.inf) continue;
+    return CompareKey(value, rid, e.value, e.rid) <= 0;
+  }
+  return false;  // only the inf entry: no finite key
+}
+
+std::vector<std::string> CollectCells(const PageView& v, uint16_t from) {
+  std::vector<std::string> cells;
+  cells.reserve(v.slot_count() - from);
+  for (uint16_t i = from; i < v.slot_count(); ++i) {
+    cells.emplace_back(v.Cell(i));
+  }
+  return cells;
+}
+
+// -- payload builders ----------------------------------------------------------
+
+namespace {
+void PutCells(std::string* p, const std::vector<std::string>& cells) {
+  PutFixed16(p, static_cast<uint16_t>(cells.size()));
+  for (const auto& c : cells) PutLengthPrefixed(p, c);
+}
+std::vector<std::string_view> GetCells(BufferReader* r) {
+  uint16_t n = r->GetFixed16();
+  std::vector<std::string_view> cells;
+  cells.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) cells.push_back(r->GetLengthPrefixed());
+  return cells;
+}
+}  // namespace
+
+std::string EncodeKeyOp(ObjectId index, std::string_view value, Rid rid,
+                        bool set_delete_bit) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed16(&p, static_cast<uint16_t>(value.size()));
+  p.append(value);
+  PutFixed32(&p, rid.page_id);
+  PutFixed16(&p, rid.slot);
+  p.push_back(set_delete_bit ? 1 : 0);
+  return p;
+}
+
+void DecodeKeyOp(std::string_view payload, ObjectId* index,
+                 std::string_view* value, Rid* rid, bool* set_delete_bit) {
+  BufferReader r(payload);
+  ObjectId idx = r.GetFixed32();
+  uint16_t vlen = r.GetFixed16();
+  std::string_view v = payload.substr(6, vlen);
+  Rid rd;
+  rd.page_id = DecodeFixed32(payload.data() + 6 + vlen);
+  rd.slot = DecodeFixed16(payload.data() + 6 + vlen + 4);
+  bool del_bit = payload[6 + vlen + 6] != 0;
+  if (index != nullptr) *index = idx;
+  if (value != nullptr) *value = v;
+  if (rid != nullptr) *rid = rd;
+  if (set_delete_bit != nullptr) *set_delete_bit = del_bit;
+}
+
+std::string EncodeFormat(ObjectId index, PageType type, uint8_t level, bool sm,
+                         PageId prev, PageId next,
+                         const std::vector<std::string>& cells) {
+  std::string p;
+  PutFixed32(&p, index);
+  p.push_back(static_cast<char>(type));
+  p.push_back(static_cast<char>(level));
+  p.push_back(sm ? 1 : 0);
+  PutFixed32(&p, prev);
+  PutFixed32(&p, next);
+  PutCells(&p, cells);
+  return p;
+}
+
+std::string EncodeTruncate(ObjectId index, uint16_t from, PageId old_next,
+                           PageId new_next, bool replace_last,
+                           std::string_view old_last, std::string_view new_last,
+                           const std::vector<std::string>& removed) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed16(&p, from);
+  PutFixed32(&p, old_next);
+  PutFixed32(&p, new_next);
+  p.push_back(replace_last ? 1 : 0);
+  PutLengthPrefixed(&p, old_last);
+  PutLengthPrefixed(&p, new_last);
+  PutCells(&p, removed);
+  return p;
+}
+
+std::string EncodeRestore(ObjectId index, PageId next, bool replace_last,
+                          std::string_view old_last,
+                          const std::vector<std::string>& cells) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed32(&p, next);
+  p.push_back(replace_last ? 1 : 0);
+  PutLengthPrefixed(&p, old_last);
+  PutCells(&p, cells);
+  return p;
+}
+
+std::string EncodeSetLink(ObjectId index, PageId oldp, PageId newp) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed32(&p, oldp);
+  PutFixed32(&p, newp);
+  return p;
+}
+
+std::string EncodeParentSplice(ObjectId index, uint16_t slot,
+                               std::string_view old_cell,
+                               std::string_view new_cell,
+                               std::string_view ins_cell) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed16(&p, slot);
+  PutLengthPrefixed(&p, old_cell);
+  PutLengthPrefixed(&p, new_cell);
+  PutLengthPrefixed(&p, ins_cell);
+  return p;
+}
+
+std::string EncodeParentUnsplice(ObjectId index, uint16_t slot,
+                                 std::string_view old_cell) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed16(&p, slot);
+  PutLengthPrefixed(&p, old_cell);
+  return p;
+}
+
+std::string EncodeParentRemove(ObjectId index, uint16_t slot,
+                               std::string_view removed, bool fixed,
+                               uint16_t fix_slot, std::string_view fix_old,
+                               std::string_view fix_new) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed16(&p, slot);
+  PutLengthPrefixed(&p, removed);
+  p.push_back(fixed ? 1 : 0);
+  PutFixed16(&p, fix_slot);
+  PutLengthPrefixed(&p, fix_old);
+  PutLengthPrefixed(&p, fix_new);
+  return p;
+}
+
+std::string EncodeParentRestore(ObjectId index, uint16_t slot,
+                                std::string_view removed, bool fixed,
+                                uint16_t fix_slot, std::string_view fix_old) {
+  std::string p;
+  PutFixed32(&p, index);
+  PutFixed16(&p, slot);
+  PutLengthPrefixed(&p, removed);
+  p.push_back(fixed ? 1 : 0);
+  PutFixed16(&p, fix_slot);
+  PutLengthPrefixed(&p, fix_old);
+  return p;
+}
+
+std::string EncodeReplaceAll(ObjectId index, PageType old_type, uint8_t old_level,
+                             PageType new_type, uint8_t new_level,
+                             const std::vector<std::string>& old_cells,
+                             const std::vector<std::string>& new_cells) {
+  std::string p;
+  PutFixed32(&p, index);
+  p.push_back(static_cast<char>(old_type));
+  p.push_back(static_cast<char>(old_level));
+  p.push_back(static_cast<char>(new_type));
+  p.push_back(static_cast<char>(new_level));
+  PutCells(&p, old_cells);
+  PutCells(&p, new_cells);
+  return p;
+}
+
+std::string EncodeToFree(ObjectId index, PageType old_type, uint8_t old_level,
+                         PageId old_prev, PageId old_next) {
+  std::string p;
+  PutFixed32(&p, index);
+  p.push_back(static_cast<char>(old_type));
+  p.push_back(static_cast<char>(old_level));
+  PutFixed32(&p, old_prev);
+  PutFixed32(&p, old_next);
+  return p;
+}
+
+std::string EncodeFromFree(ObjectId index, PageType old_type, uint8_t old_level,
+                           PageId old_prev, PageId old_next) {
+  return EncodeToFree(index, old_type, old_level, old_prev, old_next);
+}
+
+ObjectId PayloadIndexId(std::string_view payload) {
+  return DecodeFixed32(payload.data());
+}
+
+// -- apply --------------------------------------------------------------------
+
+Status Apply(uint8_t op, std::string_view payload, PageView v) {
+  BufferReader r(payload);
+  ObjectId index = r.GetFixed32();
+  switch (op) {
+    case kOpInsertKey: {
+      std::string_view value;
+      Rid rid;
+      DecodeKeyOp(payload, nullptr, &value, &rid, nullptr);
+      bool exact = false;
+      uint16_t pos = LeafLowerBound(v, value, rid, &exact);
+      if (exact) {
+        return Status::Corruption("btree insert: key already present");
+      }
+      return v.InsertCellAt(pos, EncodeLeafCell(value, rid));
+    }
+    case kOpDeleteKey: {
+      std::string_view value;
+      Rid rid;
+      bool del_bit = false;
+      DecodeKeyOp(payload, nullptr, &value, &rid, &del_bit);
+      bool exact = false;
+      uint16_t pos = LeafLowerBound(v, value, rid, &exact);
+      if (!exact) {
+        return Status::Corruption("btree delete: key not present");
+      }
+      v.RemoveCellAt(pos);
+      if (del_bit) v.set_delete_bit(true);
+      return Status::OK();
+    }
+    case kOpFormat: {
+      PageType type = static_cast<PageType>(r.GetFixed8());
+      uint8_t level = r.GetFixed8();
+      bool sm = r.GetFixed8() != 0;
+      PageId prev = r.GetFixed32();
+      PageId next = r.GetFixed32();
+      auto cells = GetCells(&r);
+      if (!r.ok()) return Status::Corruption("btree format payload");
+      v.Init(v.page_id(), type, index, level);
+      v.set_prev_page(prev);
+      v.set_next_page(next);
+      for (uint16_t i = 0; i < cells.size(); ++i) {
+        ARIES_RETURN_NOT_OK(v.InsertCellAt(i, cells[i]));
+      }
+      v.set_sm_bit(sm);
+      return Status::OK();
+    }
+    case kOpUnformat: {
+      v.set_type(PageType::kFree);
+      v.set_sm_bit(false);
+      return Status::OK();
+    }
+    case kOpTruncate: {
+      uint16_t from = r.GetFixed16();
+      (void)r.GetFixed32();  // old_next
+      PageId new_next = r.GetFixed32();
+      bool replace_last = r.GetFixed8() != 0;
+      (void)r.GetLengthPrefixed();  // old_last
+      std::string_view new_last = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("btree truncate payload");
+      while (v.slot_count() > from) {
+        v.RemoveCellAt(static_cast<uint16_t>(v.slot_count() - 1));
+      }
+      if (replace_last) {
+        ARIES_RETURN_NOT_OK(
+            v.ReplaceCellAt(static_cast<uint16_t>(from - 1), new_last));
+      }
+      if (v.type() == PageType::kBtreeLeaf) v.set_next_page(new_next);
+      v.set_sm_bit(true);
+      return Status::OK();
+    }
+    case kOpRestore: {
+      PageId next = r.GetFixed32();
+      bool replace_last = r.GetFixed8() != 0;
+      std::string_view old_last = r.GetLengthPrefixed();
+      auto cells = GetCells(&r);
+      if (!r.ok()) return Status::Corruption("btree restore payload");
+      if (replace_last) {
+        ARIES_RETURN_NOT_OK(v.ReplaceCellAt(
+            static_cast<uint16_t>(v.slot_count() - 1), old_last));
+      }
+      for (const auto& c : cells) {
+        ARIES_RETURN_NOT_OK(v.InsertCellAt(v.slot_count(), c));
+      }
+      if (v.type() == PageType::kBtreeLeaf) v.set_next_page(next);
+      v.set_sm_bit(false);
+      return Status::OK();
+    }
+    case kOpSetNext:
+    case kOpSetPrev: {
+      (void)r.GetFixed32();
+      PageId newp = r.GetFixed32();
+      if (op == kOpSetNext) {
+        v.set_next_page(newp);
+      } else {
+        v.set_prev_page(newp);
+      }
+      v.set_sm_bit(true);
+      return Status::OK();
+    }
+    case kOpParentSplice: {
+      uint16_t slot = r.GetFixed16();
+      (void)r.GetLengthPrefixed();  // old cell
+      std::string_view new_cell = r.GetLengthPrefixed();
+      std::string_view ins_cell = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("btree splice payload");
+      ARIES_RETURN_NOT_OK(v.ReplaceCellAt(slot, new_cell));
+      ARIES_RETURN_NOT_OK(
+          v.InsertCellAt(static_cast<uint16_t>(slot + 1), ins_cell));
+      v.set_sm_bit(true);
+      return Status::OK();
+    }
+    case kOpParentUnsplice: {
+      uint16_t slot = r.GetFixed16();
+      std::string_view old_cell = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("btree unsplice payload");
+      v.RemoveCellAt(static_cast<uint16_t>(slot + 1));
+      ARIES_RETURN_NOT_OK(v.ReplaceCellAt(slot, old_cell));
+      v.set_sm_bit(false);
+      return Status::OK();
+    }
+    case kOpParentRemove: {
+      uint16_t slot = r.GetFixed16();
+      (void)r.GetLengthPrefixed();  // removed cell (for undo)
+      bool fixed = r.GetFixed8() != 0;
+      uint16_t fix_slot = r.GetFixed16();
+      (void)r.GetLengthPrefixed();  // fix_old
+      std::string_view fix_new = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("btree parent-remove payload");
+      v.RemoveCellAt(slot);
+      if (fixed) {
+        ARIES_RETURN_NOT_OK(v.ReplaceCellAt(fix_slot, fix_new));
+      }
+      v.set_sm_bit(true);
+      return Status::OK();
+    }
+    case kOpParentRestore: {
+      uint16_t slot = r.GetFixed16();
+      std::string_view removed = r.GetLengthPrefixed();
+      bool fixed = r.GetFixed8() != 0;
+      uint16_t fix_slot = r.GetFixed16();
+      std::string_view fix_old = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("btree parent-restore payload");
+      if (fixed) {
+        ARIES_RETURN_NOT_OK(v.ReplaceCellAt(fix_slot, fix_old));
+      }
+      ARIES_RETURN_NOT_OK(v.InsertCellAt(slot, removed));
+      v.set_sm_bit(false);
+      return Status::OK();
+    }
+    case kOpReplaceAll: {
+      PageType old_type = static_cast<PageType>(r.GetFixed8());
+      uint8_t old_level = r.GetFixed8();
+      PageType new_type = static_cast<PageType>(r.GetFixed8());
+      uint8_t new_level = r.GetFixed8();
+      auto old_cells = GetCells(&r);
+      auto new_cells = GetCells(&r);
+      if (!r.ok()) return Status::Corruption("btree replace-all payload");
+      (void)old_type;
+      (void)old_level;
+      (void)old_cells;
+      v.Init(v.page_id(), new_type, index, new_level);
+      for (uint16_t i = 0; i < new_cells.size(); ++i) {
+        ARIES_RETURN_NOT_OK(v.InsertCellAt(i, new_cells[i]));
+      }
+      v.set_sm_bit(true);
+      return Status::OK();
+    }
+    case kOpToFree: {
+      v.set_type(PageType::kFree);
+      v.set_sm_bit(false);
+      v.set_delete_bit(false);
+      return Status::OK();
+    }
+    case kOpFromFree: {
+      PageType old_type = static_cast<PageType>(r.GetFixed8());
+      uint8_t old_level = r.GetFixed8();
+      PageId old_prev = r.GetFixed32();
+      PageId old_next = r.GetFixed32();
+      if (!r.ok()) return Status::Corruption("btree from-free payload");
+      v.Init(v.page_id(), old_type, index, old_level);
+      v.set_prev_page(old_prev);
+      v.set_next_page(old_next);
+      v.set_sm_bit(true);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown btree op " + std::to_string(op));
+  }
+}
+
+}  // namespace bt
+}  // namespace ariesim

@@ -1,0 +1,122 @@
+// Node-level operations over B-tree pages and the page-oriented log-record
+// interpreter for the btree resource manager.
+//
+// Every change to an index page — key inserts/deletes and each per-page
+// step of an SMO — is logged with one of the opcodes below and applied
+// through Apply(), so restart redo is always page-oriented (paper §3
+// "Logging": each log record contains the identity of the affected page).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btree/iks.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace ariesim {
+namespace bt {
+
+// -- log opcodes (RmId::kBtree). Every payload begins with [u32 index_id]. --
+inline constexpr uint8_t kOpInsertKey = 1;      ///< leaf key insert
+inline constexpr uint8_t kOpDeleteKey = 2;      ///< leaf key delete
+inline constexpr uint8_t kOpFormat = 3;         ///< format fresh page + cells
+inline constexpr uint8_t kOpUnformat = 4;       ///< CLR: page back to free
+inline constexpr uint8_t kOpTruncate = 5;       ///< split: drop upper cells
+inline constexpr uint8_t kOpRestore = 6;        ///< CLR: re-append cells
+inline constexpr uint8_t kOpSetNext = 7;        ///< leaf-chain next pointer
+inline constexpr uint8_t kOpSetPrev = 8;        ///< leaf-chain prev pointer
+inline constexpr uint8_t kOpParentSplice = 9;   ///< split: fix + add child entry
+inline constexpr uint8_t kOpParentUnsplice = 10;///< CLR: inverse of splice
+inline constexpr uint8_t kOpParentRemove = 11;  ///< page delete: drop child entry
+inline constexpr uint8_t kOpParentRestore = 12; ///< CLR: inverse of remove
+inline constexpr uint8_t kOpReplaceAll = 13;    ///< root grow/collapse/reset
+inline constexpr uint8_t kOpToFree = 14;        ///< page delete: free the page
+inline constexpr uint8_t kOpFromFree = 15;      ///< CLR: resurrect empty page
+
+// -- search ----------------------------------------------------------------
+
+/// First leaf slot with key >= (value, rid); sets *exact when equal.
+/// Returns slot_count() when all keys are smaller.
+uint16_t LeafLowerBound(const PageView& v, std::string_view value, Rid rid,
+                        bool* exact);
+
+/// Index of the child entry to follow for (value, rid): the first entry
+/// whose separator is strictly greater (the rightmost/inf entry otherwise).
+uint16_t InternalChildIndex(const PageView& v, std::string_view value, Rid rid);
+
+/// True if the page has a finite separator >= nothing… — specifically,
+/// returns whether (value, rid) is <= the highest *finite* key stored in the
+/// page (the Figure 4 "input key <= highest key in child" test). An
+/// internal page whose only entry is the inf sentinel has no finite key,
+/// so this returns false.
+bool KeyWithinHighest(const PageView& v, std::string_view value, Rid rid);
+
+// -- payload builders --------------------------------------------------------
+
+std::string EncodeKeyOp(ObjectId index, std::string_view value, Rid rid,
+                        bool set_delete_bit);
+void DecodeKeyOp(std::string_view payload, ObjectId* index, std::string_view* value,
+                 Rid* rid, bool* set_delete_bit);
+
+/// kOpFormat: [idx][u8 type][u8 level][u8 sm][u32 prev][u32 next][u16 n][lp cells]
+std::string EncodeFormat(ObjectId index, PageType type, uint8_t level, bool sm,
+                         PageId prev, PageId next,
+                         const std::vector<std::string>& cells);
+/// kOpTruncate: [idx][u16 from][u32 old_next][u32 new_next]
+///              [u8 replace_last][lp old_last][lp new_last][u16 n][lp cells]
+std::string EncodeTruncate(ObjectId index, uint16_t from, PageId old_next,
+                           PageId new_next, bool replace_last,
+                           std::string_view old_last, std::string_view new_last,
+                           const std::vector<std::string>& removed);
+/// kOpRestore (CLR): [idx][u32 next][u8 replace_last][lp old_last]
+///                   [u16 n][lp cells]
+std::string EncodeRestore(ObjectId index, PageId next, bool replace_last,
+                          std::string_view old_last,
+                          const std::vector<std::string>& cells);
+/// kOpSetNext / kOpSetPrev: [idx][u32 old][u32 new]
+std::string EncodeSetLink(ObjectId index, PageId oldp, PageId newp);
+/// kOpParentSplice: [idx][u16 slot][lp old][lp new][lp ins]
+std::string EncodeParentSplice(ObjectId index, uint16_t slot,
+                               std::string_view old_cell,
+                               std::string_view new_cell,
+                               std::string_view ins_cell);
+/// kOpParentUnsplice (CLR): [idx][u16 slot][lp old]
+std::string EncodeParentUnsplice(ObjectId index, uint16_t slot,
+                                 std::string_view old_cell);
+/// kOpParentRemove: [idx][u16 slot][lp removed][u8 fixed][u16 fix_slot]
+///                  [lp fix_old][lp fix_new]
+std::string EncodeParentRemove(ObjectId index, uint16_t slot,
+                               std::string_view removed, bool fixed,
+                               uint16_t fix_slot, std::string_view fix_old,
+                               std::string_view fix_new);
+std::string EncodeParentRestore(ObjectId index, uint16_t slot,
+                                std::string_view removed, bool fixed,
+                                uint16_t fix_slot, std::string_view fix_old);
+/// kOpReplaceAll: [idx][u8 old_type][u8 old_level][u8 new_type][u8 new_level]
+///                [u16 n_old][lp cells][u16 n_new][lp cells]
+std::string EncodeReplaceAll(ObjectId index, PageType old_type, uint8_t old_level,
+                             PageType new_type, uint8_t new_level,
+                             const std::vector<std::string>& old_cells,
+                             const std::vector<std::string>& new_cells);
+/// kOpToFree: [idx][u8 old_type][u8 old_level][u32 old_prev][u32 old_next]
+std::string EncodeToFree(ObjectId index, PageType old_type, uint8_t old_level,
+                         PageId old_prev, PageId old_next);
+/// kOpFromFree (CLR): same fields; re-initializes the page empty.
+std::string EncodeFromFree(ObjectId index, PageType old_type, uint8_t old_level,
+                           PageId old_prev, PageId old_next);
+
+/// Read the leading index id of any btree payload.
+ObjectId PayloadIndexId(std::string_view payload);
+
+/// Page-oriented application of a btree op (forward, redo, and CLR apply all
+/// go through here).
+Status Apply(uint8_t op, std::string_view payload, PageView v);
+
+/// Collect a page's cells (testing / SMO helper).
+std::vector<std::string> CollectCells(const PageView& v, uint16_t from = 0);
+
+}  // namespace bt
+}  // namespace ariesim

@@ -1,0 +1,523 @@
+// Structure modification operations (paper §2.1, §3, Figures 8-10).
+//
+// All SMOs within one tree are serialized by the X tree latch, acquired only
+// after the needed pages are in the buffer pool, and each SMO runs as a
+// nested top action closed by a dummy CLR so that a later rollback of the
+// enclosing transaction does not undo it. Splits go to the right; a page
+// that becomes empty is unlinked, removed from its parent, and freed. The
+// root page never moves: growing copies the root's cells into a fresh child
+// and turning the root into a one-entry internal page; shrinking collapses
+// a single child back into the root.
+#include "btree/btree.h"
+
+namespace ariesim {
+
+namespace {
+constexpr int kMaxSmoRounds = 64;
+}
+
+Result<Lsn> LogBtree(EngineContext* ctx, Transaction* txn, uint8_t op,
+                     PageId page, std::string payload, bool clr = false,
+                     Lsn undo_next = kNullLsn) {
+  LogRecord rec;
+  rec.type = clr ? LogType::kCompensation : LogType::kUpdate;
+  rec.rm = RmId::kBtree;
+  rec.op = op;
+  rec.page_id = page;
+  rec.payload = std::move(payload);
+  rec.undo_next_lsn = undo_next;
+  return ctx->txns->AppendTxnLog(txn, &rec);
+}
+
+Status BTree::SplitSmoAndInsert(Transaction* txn, std::string_view value,
+                                Rid rid) {
+  // "Fix needed neighbouring pages in buffer pool" (Figure 8): warm the path
+  // before serializing on the tree latch, to keep the X-hold short.
+  {
+    PageGuard warm;
+    Status ws = TraverseToLeaf(value, rid, /*for_modify=*/false, &warm);
+    if (ws.ok()) warm.Release();
+  }
+  bool baseline = ctx_->options.block_traversal_during_smo;
+  if (!baseline) {
+    tree_latch_.LockExclusive();
+    if (ctx_->metrics != nullptr) {
+      ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
+                                                       std::memory_order_relaxed);
+    }
+  }
+  Status result = Status::Corruption("split loop did not settle");
+  bool latch_released = false;
+  for (int round = 0; round < kMaxSmoRounds; ++round) {
+    PageGuard leaf;
+    Status ts =
+        TraverseToLeaf(value, rid, /*for_modify=*/true, &leaf, /*tree=*/true);
+    if (!ts.ok()) {
+      result = ts;
+      break;
+    }
+    std::string cell = bt::EncodeLeafCell(value, rid);
+    if (leaf.view().FreeSpaceForNewCell() >= cell.size()) {
+      // Room exists (either our split finished or another transaction freed
+      // space): perform the insert under the tree latch (Figure 8 performs
+      // the key insert before releasing the latch). If a lock is not
+      // grantable, InsertAtLeaf releases the tree latch *before* waiting
+      // (locks are never awaited under the tree latch, §4) and flags it; the
+      // kRetry then propagates to the caller's outer retry loop.
+      result = InsertAtLeaf(txn, std::move(leaf), value, rid,
+                            /*tree_latch_held=*/true,
+                            baseline ? nullptr : &latch_released);
+      break;
+    }
+    leaf.Release();
+    txn->BeginNta();
+    std::vector<PageId> touched;
+    Status s = MakeRoomForKey(txn, value, rid, &touched);
+    if (!s.ok()) {
+      txn->PopNta();  // leave the partial SMO to the transaction rollback
+      result = s;
+      break;
+    }
+    s = ctx_->txns->EndNta(txn);
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+    ClearSmBits(touched);  // Figure 8 reset, still under the tree latch
+  }
+  if (!baseline && !latch_released) tree_latch_.UnlockExclusive();
+  return result;
+}
+
+Status BTree::MakeRoomForKey(Transaction* txn, std::string_view value, Rid rid,
+                             std::vector<PageId>* touched) {
+  // Conservative splice-room bound: a parent update replaces one cell and
+  // inserts one more, each at most a full-size separator cell.
+  const size_t sep_cell_max = 2 + MaxValueLen() + 6 + 4;
+  const size_t splice_need = 2 * sep_cell_max + 2 * kSlotSize;
+  const std::string cell = bt::EncodeLeafCell(value, rid);
+
+  for (int round = 0; round < kMaxSmoRounds; ++round) {
+    std::vector<PageId> path;
+    ARIES_RETURN_NOT_OK(TraversePath(value, rid, &path));
+    {
+      ARIES_ASSIGN_OR_RETURN(
+          PageGuard leaf, ctx_->pool->FetchPage(path.back(), LatchMode::kShared));
+      if (leaf.view().FreeSpaceForNewCell() >= cell.size()) return Status::OK();
+    }
+    // Find the shallowest page that must be split whose parent can absorb
+    // the splice; if the chain of full pages reaches the root, grow it.
+    size_t d = path.size() - 1;
+    while (d > 0) {
+      ARIES_ASSIGN_OR_RETURN(
+          PageGuard parent,
+          ctx_->pool->FetchPage(path[d - 1], LatchMode::kShared));
+      bool roomy = parent.view().FreeSpaceForNewCell() >= splice_need;
+      parent.Release();
+      if (roomy) break;
+      --d;
+    }
+    if (d == 0) {
+      ARIES_RETURN_NOT_OK(RootGrow(txn, touched));
+      continue;
+    }
+    ARIES_RETURN_NOT_OK(DoOneSplit(txn, path[d - 1], path[d], touched));
+  }
+  return Status::Corruption("MakeRoomForKey did not settle");
+}
+
+Status BTree::RootGrow(Transaction* txn, std::vector<PageId>* touched) {
+  ARIES_ASSIGN_OR_RETURN(PageId fresh, ctx_->space->AllocatePage(txn));
+  ARIES_ASSIGN_OR_RETURN(PageGuard root,
+                         ctx_->pool->FetchPage(root_, LatchMode::kExclusive));
+  PageView rv = root.view();
+  PageType old_type = rv.type();
+  uint8_t old_level = rv.level();
+  std::vector<std::string> cells = bt::CollectCells(rv);
+  {
+    ARIES_ASSIGN_OR_RETURN(PageGuard child,
+                           ctx_->pool->FetchPage(fresh, LatchMode::kExclusive));
+    std::string payload = bt::EncodeFormat(index_id_, old_type, old_level,
+                                           /*sm=*/true, kInvalidPageId,
+                                           kInvalidPageId, cells);
+    ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                           LogBtree(ctx_, txn, bt::kOpFormat, fresh, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpFormat, payload, child.view()));
+    child.MarkDirty(lsn);
+  }
+  std::vector<std::string> new_cells{
+      bt::EncodeInternalCell(/*inf=*/true, "", Rid{}, fresh)};
+  std::string payload = bt::EncodeReplaceAll(
+      index_id_, old_type, old_level, PageType::kBtreeInternal,
+      static_cast<uint8_t>(old_level + 1), cells, new_cells);
+  ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                         LogBtree(ctx_, txn, bt::kOpReplaceAll, root_, payload));
+  ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpReplaceAll, payload, rv));
+  root.MarkDirty(lsn);
+  if (touched != nullptr) {
+    touched->push_back(root_);
+    touched->push_back(fresh);
+  }
+  return Status::OK();
+}
+
+Status BTree::DoOneSplit(Transaction* txn, PageId parent, PageId node,
+                         std::vector<PageId>* touched) {
+  ARIES_ASSIGN_OR_RETURN(PageId fresh, ctx_->space->AllocatePage(txn));
+  ARIES_ASSIGN_OR_RETURN(PageGuard ng,
+                         ctx_->pool->FetchPage(node, LatchMode::kExclusive));
+  PageView nv = ng.view();
+  uint16_t n = nv.slot_count();
+  if (n < 2) return Status::Corruption("cannot split a page with < 2 cells");
+  bool is_leaf = nv.type() == PageType::kBtreeLeaf;
+
+  // Split point: first slot where the cumulative cell bytes exceed half.
+  size_t total = nv.LiveCellBytes();
+  size_t acc = 0;
+  uint16_t split_idx = 0;
+  for (uint16_t i = 0; i < n; ++i) {
+    acc += nv.SlotLen(i);
+    if (acc * 2 >= total) {
+      split_idx = static_cast<uint16_t>(i + 1);
+      break;
+    }
+  }
+  if (split_idx < 1) split_idx = 1;
+  if (split_idx > n - 1) split_idx = static_cast<uint16_t>(n - 1);
+
+  std::vector<std::string> moved = bt::CollectCells(nv, split_idx);
+  PageId old_next = nv.next_page();
+
+  // Separator S: for a leaf, the first moved key (copied up); for an
+  // internal page, the key of the entry that becomes the left page's
+  // rightmost (promoted up, its slot turning into the inf sentinel).
+  std::string sep_value;
+  Rid sep_rid;
+  std::string old_last_cell, new_last_cell;
+  bool replace_last = !is_leaf;
+  if (is_leaf) {
+    bt::LeafEntry first_moved = bt::DecodeLeafCell(moved.front());
+    sep_value.assign(first_moved.value);
+    sep_rid = first_moved.rid;
+  } else {
+    old_last_cell = std::string(nv.Cell(static_cast<uint16_t>(split_idx - 1)));
+    bt::InternalEntry promoted = bt::DecodeInternalCell(old_last_cell);
+    if (promoted.inf) {
+      return Status::Corruption("internal split would promote the inf entry");
+    }
+    sep_value.assign(promoted.value);
+    sep_rid = promoted.rid;
+    new_last_cell =
+        bt::EncodeInternalCell(/*inf=*/true, "", Rid{}, promoted.child);
+  }
+
+  // 1. Format the new right sibling (unreachable until the links flip).
+  {
+    ARIES_ASSIGN_OR_RETURN(PageGuard rg,
+                           ctx_->pool->FetchPage(fresh, LatchMode::kExclusive));
+    std::string payload = bt::EncodeFormat(
+        index_id_, nv.type(), nv.level(), /*sm=*/true,
+        is_leaf ? node : kInvalidPageId, is_leaf ? old_next : kInvalidPageId,
+        moved);
+    ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                           LogBtree(ctx_, txn, bt::kOpFormat, fresh, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpFormat, payload, rg.view()));
+    rg.MarkDirty(lsn);
+  }
+  // 2. Truncate the left page and (for leaves) swing its next pointer.
+  {
+    std::string payload = bt::EncodeTruncate(
+        index_id_, split_idx, old_next, is_leaf ? fresh : kInvalidPageId,
+        replace_last, old_last_cell, new_last_cell, moved);
+    ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                           LogBtree(ctx_, txn, bt::kOpTruncate, node, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpTruncate, payload, nv));
+    ng.MarkDirty(lsn);
+  }
+  ng.Release();  // lower-level latches released before latching higher pages
+
+  // 3. Back pointer of the old right neighbor (leaf chain only).
+  if (is_leaf && old_next != kInvalidPageId) {
+    ARIES_ASSIGN_OR_RETURN(PageGuard og,
+                           ctx_->pool->FetchPage(old_next, LatchMode::kExclusive));
+    std::string payload = bt::EncodeSetLink(index_id_, node, fresh);
+    ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                           LogBtree(ctx_, txn, bt::kOpSetPrev, old_next, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpSetPrev, payload, og.view()));
+    og.MarkDirty(lsn);
+  }
+
+  if (test_fail_before_splice_.exchange(false)) {
+    return Status::IOError("injected failure before parent splice");
+  }
+
+  // 4. Splice the parent: (node, H) -> (node, S), insert (fresh, H) after.
+  {
+    ARIES_ASSIGN_OR_RETURN(PageGuard pg,
+                           ctx_->pool->FetchPage(parent, LatchMode::kExclusive));
+    PageView pv = pg.view();
+    uint16_t slot = pv.slot_count();
+    for (uint16_t i = 0; i < pv.slot_count(); ++i) {
+      if (bt::DecodeInternalCell(pv.Cell(i)).child == node) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == pv.slot_count()) {
+      return Status::Corruption("split: child entry missing from parent");
+    }
+    std::string old_cell(pv.Cell(slot));
+    bt::InternalEntry old_e = bt::DecodeInternalCell(old_cell);
+    std::string new_cell =
+        bt::EncodeInternalCell(/*inf=*/false, sep_value, sep_rid, node);
+    std::string ins_cell = bt::EncodeInternalCell(old_e.inf, old_e.value,
+                                                  old_e.rid, fresh);
+    std::string payload =
+        bt::EncodeParentSplice(index_id_, slot, old_cell, new_cell, ins_cell);
+    ARIES_ASSIGN_OR_RETURN(
+        Lsn lsn, LogBtree(ctx_, txn, bt::kOpParentSplice, parent, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpParentSplice, payload, pv));
+    pg.MarkDirty(lsn);
+  }
+  if (touched != nullptr) {
+    touched->push_back(node);
+    touched->push_back(fresh);
+    touched->push_back(parent);
+    if (is_leaf && old_next != kInvalidPageId) touched->push_back(old_next);
+  }
+  if (ctx_->metrics != nullptr) {
+    ctx_->metrics->smo_splits.fetch_add(1, std::memory_order_relaxed);
+  }
+  int fp = test_fail_after_splits_.load(std::memory_order_relaxed);
+  if (fp >= 0) {
+    if (fp == 0) {
+      test_fail_after_splits_.store(-1);
+      return Status::IOError("injected failure after split step");
+    }
+    test_fail_after_splits_.store(fp - 1);
+  }
+  return Status::OK();
+}
+
+namespace {
+/// Locate the internal page holding the routing entry for `child`, walking
+/// by (value, rid). Only valid while the tree latch is held X.
+Status FindParentOf(EngineContext* ctx, ObjectId index_id, PageId root,
+                    PageId child, std::string_view value, Rid rid,
+                    PageId* parent_out, uint16_t* slot_out) {
+  PageId cur = root;
+  for (int depth = 0; depth < 64; ++depth) {
+    ARIES_ASSIGN_OR_RETURN(PageGuard g,
+                           ctx->pool->FetchPage(cur, LatchMode::kShared));
+    PageView v = g.view();
+    if (v.owner_id() != index_id || v.type() != PageType::kBtreeInternal) {
+      return Status::Corruption("FindParentOf: routing left the index");
+    }
+    if (v.slot_count() == 0) {
+      return Status::Corruption("FindParentOf: empty internal page");
+    }
+    uint16_t ci = bt::InternalChildIndex(v, value, rid);
+    if (ci >= v.slot_count()) {
+      return Status::Corruption("FindParentOf: no routing entry");
+    }
+    bt::InternalEntry e = bt::DecodeInternalCell(v.Cell(ci));
+    if (e.child == child) {
+      *parent_out = cur;
+      *slot_out = ci;
+      return Status::OK();
+    }
+    cur = e.child;
+  }
+  return Status::Corruption("FindParentOf: did not terminate");
+}
+}  // namespace
+
+Status BTree::RemoveFromParent(Transaction* txn, PageId child,
+                               std::string_view value, Rid rid,
+                               std::vector<PageId>* touched) {
+  PageId parent;
+  uint16_t slot;
+  ARIES_RETURN_NOT_OK(FindParentOf(ctx_, index_id_, root_, child, value, rid,
+                                   &parent, &slot));
+  uint16_t remaining;
+  {
+    ARIES_ASSIGN_OR_RETURN(PageGuard pg,
+                           ctx_->pool->FetchPage(parent, LatchMode::kExclusive));
+    PageView pv = pg.view();
+    std::string removed(pv.Cell(slot));
+    bt::InternalEntry removed_e = bt::DecodeInternalCell(removed);
+    bool fixed = removed_e.inf && pv.slot_count() >= 2;
+    uint16_t fix_slot = static_cast<uint16_t>(slot > 0 ? slot - 1 : 0);
+    std::string fix_old, fix_new;
+    if (fixed) {
+      fix_old = std::string(pv.Cell(fix_slot));
+      bt::InternalEntry prev_e = bt::DecodeInternalCell(fix_old);
+      fix_new = bt::EncodeInternalCell(/*inf=*/true, "", Rid{}, prev_e.child);
+    }
+    std::string payload = bt::EncodeParentRemove(index_id_, slot, removed,
+                                                 fixed, fix_slot, fix_old,
+                                                 fix_new);
+    ARIES_ASSIGN_OR_RETURN(
+        Lsn lsn, LogBtree(ctx_, txn, bt::kOpParentRemove, parent, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpParentRemove, payload, pv));
+    pg.MarkDirty(lsn);
+    remaining = pv.slot_count();
+    if (touched != nullptr) touched->push_back(parent);
+  }
+
+  if (parent == root_) {
+    if (remaining == 0) {
+      // Last child gone: the tree is empty; the root reverts to an empty
+      // leaf (the root page itself never moves or disappears).
+      ARIES_ASSIGN_OR_RETURN(PageGuard rg,
+                             ctx_->pool->FetchPage(root_, LatchMode::kExclusive));
+      PageView rv = rg.view();
+      std::string payload = bt::EncodeReplaceAll(
+          index_id_, rv.type(), rv.level(), PageType::kBtreeLeaf, 0, {}, {});
+      ARIES_ASSIGN_OR_RETURN(
+          Lsn lsn, LogBtree(ctx_, txn, bt::kOpReplaceAll, root_, payload));
+      ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpReplaceAll, payload, rv));
+      rg.MarkDirty(lsn);
+      if (touched != nullptr) touched->push_back(root_);
+      return Status::OK();
+    }
+    // Height shrink: while the root holds a single child, collapse it.
+    //
+    // The child's cells are copied into the root and the child is freed in
+    // ONE critical section holding both X latches (root first, then child —
+    // the same top-down order traversers couple in, so no latch deadlock).
+    // Reading the child's cells under a separate, earlier latch would race
+    // concurrent leaf inserts into the child (leaf modifications do not take
+    // the tree latch) and silently lose their keys.
+    for (int round = 0; round < kMaxSmoRounds; ++round) {
+      ARIES_ASSIGN_OR_RETURN(PageGuard rg,
+                             ctx_->pool->FetchPage(root_, LatchMode::kExclusive));
+      PageView rv = rg.view();
+      if (rv.type() != PageType::kBtreeInternal || rv.slot_count() != 1) {
+        return Status::OK();
+      }
+      PageId only_child = bt::DecodeInternalCell(rv.Cell(0)).child;
+      ARIES_ASSIGN_OR_RETURN(
+          PageGuard cg, ctx_->pool->FetchPage(only_child, LatchMode::kExclusive));
+      PageView cv = cg.view();
+      PageType ct = cv.type();
+      uint8_t cl = cv.level();
+      PageId cprev = cv.prev_page();
+      PageId cnext = cv.next_page();
+      std::vector<std::string> ccells = bt::CollectCells(cv);
+      {
+        std::vector<std::string> old_cells = bt::CollectCells(rv);
+        std::string payload = bt::EncodeReplaceAll(
+            index_id_, rv.type(), rv.level(), ct, cl, old_cells, ccells);
+        ARIES_ASSIGN_OR_RETURN(
+            Lsn lsn, LogBtree(ctx_, txn, bt::kOpReplaceAll, root_, payload));
+        ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpReplaceAll, payload, rv));
+        rg.MarkDirty(lsn);
+        if (touched != nullptr) touched->push_back(root_);
+      }
+      {
+        std::string payload = bt::EncodeToFree(index_id_, ct, cl, cprev, cnext);
+        ARIES_ASSIGN_OR_RETURN(
+            Lsn lsn, LogBtree(ctx_, txn, bt::kOpToFree, only_child, payload));
+        ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpToFree, payload, cv));
+        cg.MarkDirty(lsn);
+      }
+      cg.Release();
+      rg.Release();
+      ARIES_RETURN_NOT_OK(ctx_->space->FreePage(txn, only_child));
+    }
+    return Status::OK();
+  }
+
+  if (remaining == 0) {
+    // The parent became empty: remove it from *its* parent, then free it.
+    ARIES_RETURN_NOT_OK(RemoveFromParent(txn, parent, value, rid, touched));
+    ARIES_ASSIGN_OR_RETURN(PageGuard pg,
+                           ctx_->pool->FetchPage(parent, LatchMode::kExclusive));
+    PageView pv = pg.view();
+    std::string payload = bt::EncodeToFree(index_id_, pv.type(), pv.level(),
+                                           kInvalidPageId, kInvalidPageId);
+    ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                           LogBtree(ctx_, txn, bt::kOpToFree, parent, payload));
+    ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpToFree, payload, pv));
+    pg.MarkDirty(lsn);
+    pg.Release();
+    ARIES_RETURN_NOT_OK(ctx_->space->FreePage(txn, parent));
+  }
+  return Status::OK();
+}
+
+Status BTree::PageDeleteSmo(Transaction* txn, PageGuard leaf,
+                            std::string_view value, Rid rid) {
+  PageId L = leaf.page_id();
+  if (L == root_) {
+    // An empty root leaf simply stays: the empty tree state.
+    return Status::OK();
+  }
+  PageView v = leaf.view();
+  PageId prev = v.prev_page();
+  PageId next = v.next_page();
+  // Warn concurrent transactions immediately (logged reinforcement follows
+  // in kOpToFree): with the leaf X latch held no one else can be mid-update.
+  v.set_sm_bit(true);
+  leaf.Release();
+
+  txn->BeginNta();
+  std::vector<PageId> touched;
+  auto body = [&]() -> Status {
+    if (prev != kInvalidPageId) {
+      ARIES_ASSIGN_OR_RETURN(PageGuard g,
+                             ctx_->pool->FetchPage(prev, LatchMode::kExclusive));
+      std::string payload = bt::EncodeSetLink(index_id_, L, next);
+      ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                             LogBtree(ctx_, txn, bt::kOpSetNext, prev, payload));
+      ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpSetNext, payload, g.view()));
+      g.MarkDirty(lsn);
+      touched.push_back(prev);
+    }
+    if (next != kInvalidPageId) {
+      ARIES_ASSIGN_OR_RETURN(PageGuard g,
+                             ctx_->pool->FetchPage(next, LatchMode::kExclusive));
+      std::string payload = bt::EncodeSetLink(index_id_, L, prev);
+      ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                             LogBtree(ctx_, txn, bt::kOpSetPrev, next, payload));
+      ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpSetPrev, payload, g.view()));
+      g.MarkDirty(lsn);
+      touched.push_back(next);
+    }
+    ARIES_RETURN_NOT_OK(RemoveFromParent(txn, L, value, rid, &touched));
+    {
+      ARIES_ASSIGN_OR_RETURN(PageGuard g,
+                             ctx_->pool->FetchPage(L, LatchMode::kExclusive));
+      std::string payload = bt::EncodeToFree(index_id_, PageType::kBtreeLeaf, 0,
+                                             prev, next);
+      ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                             LogBtree(ctx_, txn, bt::kOpToFree, L, payload));
+      ARIES_RETURN_NOT_OK(bt::Apply(bt::kOpToFree, payload, g.view()));
+      g.MarkDirty(lsn);
+    }
+    return ctx_->space->FreePage(txn, L);
+  };
+  Status s = body();
+  if (!s.ok()) {
+    txn->PopNta();  // rollback will undo the partial SMO
+    return s;
+  }
+  ARIES_RETURN_NOT_OK(ctx_->txns->EndNta(txn));
+  ClearSmBits(touched);  // Figure 8 reset, still under the tree latch
+  if (ctx_->metrics != nullptr) {
+    ctx_->metrics->smo_page_deletes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void BTree::ClearSmBits(const std::vector<PageId>& pages) {
+  for (PageId id : pages) {
+    auto res = ctx_->pool->FetchPage(id, LatchMode::kExclusive);
+    if (!res.ok()) continue;
+    PageGuard g = std::move(res).value();
+    if (g.view().owner_id() == index_id_) g.view().set_sm_bit(false);
+  }
+}
+
+}  // namespace ariesim

@@ -1,0 +1,369 @@
+// Undo processing for the btree resource manager (paper §3).
+//
+// Key-op undo is page-oriented whenever the logged page can still absorb the
+// inverse (fast path); otherwise the undo is *logical*: the tree is re-
+// traversed from the root, and if the inverse operation itself needs an SMO
+// (no room to put a key back → split; removing the key empties the page →
+// page delete), the SMO is performed under the tree latch, logged with
+// regular undo-redo records inside a nested top action — the paper's stated
+// exception to CLR-only logging during rollback, so that a crash mid-SMO can
+// restore structural consistency.
+//
+// Structural-record undo (an incomplete SMO being rolled back) is always the
+// page-oriented physical inverse, emitted as a redo-only CLR.
+#include "btree/btree.h"
+#include "util/coding.h"
+
+namespace ariesim {
+
+Result<Lsn> LogBtree(EngineContext* ctx, Transaction* txn, uint8_t op,
+                     PageId page, std::string payload, bool clr,
+                     Lsn undo_next);  // defined in smo.cpp
+
+Status BtreeResourceManager::Redo(const LogRecord& rec, PageGuard& page) {
+  return bt::Apply(rec.op, rec.payload, page.view());
+}
+
+namespace {
+
+/// Build the physical-inverse CLR payload for a structural record.
+Status InverseStructural(const LogRecord& rec, uint8_t* clr_op,
+                         std::string* clr_payload) {
+  BufferReader r(rec.payload);
+  ObjectId index = r.GetFixed32();
+  switch (rec.op) {
+    case bt::kOpFormat: {
+      *clr_op = bt::kOpUnformat;
+      std::string p;
+      PutFixed32(&p, index);
+      *clr_payload = std::move(p);
+      return Status::OK();
+    }
+    case bt::kOpTruncate: {
+      (void)r.GetFixed16();  // from
+      PageId old_next = r.GetFixed32();
+      (void)r.GetFixed32();  // new_next
+      bool replace_last = r.GetFixed8() != 0;
+      std::string_view old_last = r.GetLengthPrefixed();
+      (void)r.GetLengthPrefixed();  // new_last
+      uint16_t n = r.GetFixed16();
+      std::vector<std::string> cells;
+      cells.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        cells.emplace_back(r.GetLengthPrefixed());
+      }
+      if (!r.ok()) return Status::Corruption("bad truncate payload in undo");
+      *clr_op = bt::kOpRestore;
+      *clr_payload =
+          bt::EncodeRestore(index, old_next, replace_last, old_last, cells);
+      return Status::OK();
+    }
+    case bt::kOpSetNext:
+    case bt::kOpSetPrev: {
+      PageId oldp = r.GetFixed32();
+      PageId newp = r.GetFixed32();
+      *clr_op = rec.op;  // same op, swapped operands
+      *clr_payload = bt::EncodeSetLink(index, newp, oldp);
+      return Status::OK();
+    }
+    case bt::kOpParentSplice: {
+      uint16_t slot = r.GetFixed16();
+      std::string_view old_cell = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("bad splice payload in undo");
+      *clr_op = bt::kOpParentUnsplice;
+      *clr_payload = bt::EncodeParentUnsplice(index, slot, old_cell);
+      return Status::OK();
+    }
+    case bt::kOpParentRemove: {
+      uint16_t slot = r.GetFixed16();
+      std::string_view removed = r.GetLengthPrefixed();
+      bool fixed = r.GetFixed8() != 0;
+      uint16_t fix_slot = r.GetFixed16();
+      std::string_view fix_old = r.GetLengthPrefixed();
+      if (!r.ok()) return Status::Corruption("bad parent-remove payload");
+      *clr_op = bt::kOpParentRestore;
+      *clr_payload = bt::EncodeParentRestore(index, slot, removed, fixed,
+                                             fix_slot, fix_old);
+      return Status::OK();
+    }
+    case bt::kOpReplaceAll: {
+      PageType old_type = static_cast<PageType>(r.GetFixed8());
+      uint8_t old_level = r.GetFixed8();
+      PageType new_type = static_cast<PageType>(r.GetFixed8());
+      uint8_t new_level = r.GetFixed8();
+      uint16_t n_old = r.GetFixed16();
+      std::vector<std::string> old_cells;
+      old_cells.reserve(n_old);
+      for (uint16_t i = 0; i < n_old; ++i) {
+        old_cells.emplace_back(r.GetLengthPrefixed());
+      }
+      uint16_t n_new = r.GetFixed16();
+      std::vector<std::string> new_cells;
+      new_cells.reserve(n_new);
+      for (uint16_t i = 0; i < n_new; ++i) {
+        new_cells.emplace_back(r.GetLengthPrefixed());
+      }
+      if (!r.ok()) return Status::Corruption("bad replace-all payload");
+      *clr_op = bt::kOpReplaceAll;
+      *clr_payload = bt::EncodeReplaceAll(index, new_type, new_level, old_type,
+                                          old_level, new_cells, old_cells);
+      return Status::OK();
+    }
+    case bt::kOpToFree: {
+      PageType old_type = static_cast<PageType>(r.GetFixed8());
+      uint8_t old_level = r.GetFixed8();
+      PageId old_prev = r.GetFixed32();
+      PageId old_next = r.GetFixed32();
+      if (!r.ok()) return Status::Corruption("bad to-free payload");
+      *clr_op = bt::kOpFromFree;
+      *clr_payload =
+          bt::EncodeFromFree(index, old_type, old_level, old_prev, old_next);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("no inverse for btree op " +
+                                std::to_string(rec.op));
+  }
+}
+
+}  // namespace
+
+Status BtreeResourceManager::Undo(Transaction* txn, const LogRecord& rec) {
+  if (rec.op == bt::kOpInsertKey || rec.op == bt::kOpDeleteKey) {
+    ObjectId index = bt::PayloadIndexId(rec.payload);
+    BTree* tree = resolver_(index);
+    if (tree == nullptr) {
+      return Status::Corruption("undo: unknown index " + std::to_string(index));
+    }
+    return rec.op == bt::kOpInsertKey ? tree->UndoInsertKey(txn, rec)
+                                      : tree->UndoDeleteKey(txn, rec);
+  }
+  // Structural record of an incomplete SMO: page-oriented physical inverse.
+  uint8_t clr_op = 0;
+  std::string clr_payload;
+  ARIES_RETURN_NOT_OK(InverseStructural(rec, &clr_op, &clr_payload));
+  ARIES_ASSIGN_OR_RETURN(
+      PageGuard page, ctx_->pool->FetchPage(rec.page_id, LatchMode::kExclusive));
+  ARIES_ASSIGN_OR_RETURN(Lsn lsn,
+                         LogBtree(ctx_, txn, clr_op, rec.page_id, clr_payload,
+                                  /*clr=*/true, rec.prev_lsn));
+  ARIES_RETURN_NOT_OK(bt::Apply(clr_op, clr_payload, page.view()));
+  page.MarkDirty(lsn);
+  if (ctx_->metrics != nullptr) {
+    ctx_->metrics->page_oriented_undos.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Key-op undo entry points
+// ---------------------------------------------------------------------------
+
+Status BTree::UndoInsertKey(Transaction* txn, const LogRecord& rec) {
+  std::string_view value;
+  Rid rid;
+  bt::DecodeKeyOp(rec.payload, nullptr, &value, &rid, nullptr);
+  {
+    ARIES_ASSIGN_OR_RETURN(
+        PageGuard page, ctx_->pool->FetchPage(rec.page_id, LatchMode::kExclusive));
+    PageView v = page.view();
+    bool exact = false;
+    if (v.type() == PageType::kBtreeLeaf && v.owner_id() == index_id_ &&
+        !v.sm_bit()) {
+      bt::LeafLowerBound(v, value, rid, &exact);
+      if (exact && v.slot_count() > 1) {
+        // Page-oriented undo: the key is still here and removing it leaves
+        // the page nonempty.
+        ARIES_ASSIGN_OR_RETURN(
+            Lsn lsn, LogKeyOp(txn, bt::kOpDeleteKey, rec.page_id, value, rid,
+                              /*set_delete_bit=*/true, /*clr=*/true,
+                              rec.prev_lsn));
+        ARIES_RETURN_NOT_OK(bt::Apply(
+            bt::kOpDeleteKey, bt::EncodeKeyOp(index_id_, value, rid, true), v));
+        page.MarkDirty(lsn);
+        if (ctx_->metrics != nullptr) {
+          ctx_->metrics->page_oriented_undos.fetch_add(1,
+                                                       std::memory_order_relaxed);
+        }
+        return Status::OK();
+      }
+    }
+  }
+  if (ctx_->metrics != nullptr) {
+    ctx_->metrics->logical_undos.fetch_add(1, std::memory_order_relaxed);
+  }
+  return LogicalUndoInsert(txn, rec, value, rid);
+}
+
+Status BTree::LogicalUndoInsert(Transaction* txn, const LogRecord& rec,
+                                std::string_view value, Rid rid) {
+  // Retraverse from the root (Figure 1 scenario). A rolling-back
+  // transaction acquires no locks — only latches, plus the tree latch if an
+  // SMO becomes necessary (§4).
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    PageGuard leaf;
+    ARIES_RETURN_NOT_OK(TraverseToLeaf(value, rid, /*for_modify=*/true, &leaf));
+    Status bs = EnsureNoSmo(leaf, /*clear_delete_bit=*/false,
+                            /*tree_latch_held=*/false);
+    if (bs.IsRetry()) continue;
+    ARIES_RETURN_NOT_OK(bs);
+    PageView v = leaf.view();
+    bool exact = false;
+    bt::LeafLowerBound(v, value, rid, &exact);
+    if (!exact) {
+      return Status::Corruption("logical undo: inserted key vanished");
+    }
+    if (v.slot_count() > 1) {
+      ARIES_ASSIGN_OR_RETURN(
+          Lsn lsn, LogKeyOp(txn, bt::kOpDeleteKey, leaf.page_id(), value, rid,
+                            /*set_delete_bit=*/true, /*clr=*/true,
+                            rec.prev_lsn));
+      ARIES_RETURN_NOT_OK(bt::Apply(
+          bt::kOpDeleteKey, bt::EncodeKeyOp(index_id_, value, rid, true), v));
+      leaf.MarkDirty(lsn);
+      return Status::OK();
+    }
+    // Removing the key empties the page: page-delete SMO required (§3
+    // reason 4). Serialize via the tree latch and redo the undo under it.
+    leaf.Release();
+    tree_latch_.LockExclusive();
+    if (ctx_->metrics != nullptr) {
+      ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
+                                                       std::memory_order_relaxed);
+    }
+    Status s = [&]() -> Status {
+      PageGuard xleaf;
+      ARIES_RETURN_NOT_OK(TraverseToLeaf(value, rid, /*for_modify=*/true,
+                                         &xleaf, /*tree_latch_held=*/true));
+      PageView xv = xleaf.view();
+      bool xexact = false;
+      bt::LeafLowerBound(xv, value, rid, &xexact);
+      if (!xexact) {
+        return Status::Corruption("logical undo: key vanished under tree latch");
+      }
+      ARIES_ASSIGN_OR_RETURN(
+          Lsn lsn, LogKeyOp(txn, bt::kOpDeleteKey, xleaf.page_id(), value, rid,
+                            /*set_delete_bit=*/true, /*clr=*/true,
+                            rec.prev_lsn));
+      ARIES_RETURN_NOT_OK(bt::Apply(
+          bt::kOpDeleteKey, bt::EncodeKeyOp(index_id_, value, rid, true), xv));
+      xleaf.MarkDirty(lsn);
+      if (xv.slot_count() == 0) {
+        return PageDeleteSmo(txn, std::move(xleaf), value, rid);
+      }
+      return Status::OK();
+    }();
+    tree_latch_.UnlockExclusive();
+    return s;
+  }
+  return Status::Corruption("logical undo (insert) did not settle");
+}
+
+Status BTree::UndoDeleteKey(Transaction* txn, const LogRecord& rec) {
+  std::string_view value;
+  Rid rid;
+  bt::DecodeKeyOp(rec.payload, nullptr, &value, &rid, nullptr);
+  std::string cell = bt::EncodeLeafCell(value, rid);
+  {
+    ARIES_ASSIGN_OR_RETURN(
+        PageGuard page, ctx_->pool->FetchPage(rec.page_id, LatchMode::kExclusive));
+    PageView v = page.view();
+    if (v.type() == PageType::kBtreeLeaf && v.owner_id() == index_id_ &&
+        !v.sm_bit()) {
+      bool exact = false;
+      uint16_t pos = bt::LeafLowerBound(v, value, rid, &exact);
+      // "Bound" (§3 reason 3): a lower AND a higher key are both present on
+      // the page, so this is provably still the right page.
+      bool bound = !exact && pos > 0 && pos < v.slot_count();
+      if (bound && v.FreeSpaceForNewCell() >= cell.size()) {
+        ARIES_ASSIGN_OR_RETURN(
+            Lsn lsn, LogKeyOp(txn, bt::kOpInsertKey, rec.page_id, value, rid,
+                              /*set_delete_bit=*/false, /*clr=*/true,
+                              rec.prev_lsn));
+        ARIES_RETURN_NOT_OK(bt::Apply(
+            bt::kOpInsertKey, bt::EncodeKeyOp(index_id_, value, rid, false), v));
+        page.MarkDirty(lsn);
+        if (ctx_->metrics != nullptr) {
+          ctx_->metrics->page_oriented_undos.fetch_add(1,
+                                                       std::memory_order_relaxed);
+        }
+        return Status::OK();
+      }
+    }
+  }
+  if (ctx_->metrics != nullptr) {
+    ctx_->metrics->logical_undos.fetch_add(1, std::memory_order_relaxed);
+  }
+  return LogicalUndoDelete(txn, rec, value, rid);
+}
+
+Status BTree::LogicalUndoDelete(Transaction* txn, const LogRecord& rec,
+                                std::string_view value, Rid rid) {
+  std::string cell = bt::EncodeLeafCell(value, rid);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    PageGuard leaf;
+    ARIES_RETURN_NOT_OK(TraverseToLeaf(value, rid, /*for_modify=*/true, &leaf));
+    Status bs = EnsureNoSmo(leaf, /*clear_delete_bit=*/false,
+                            /*tree_latch_held=*/false);
+    if (bs.IsRetry()) continue;
+    ARIES_RETURN_NOT_OK(bs);
+    PageView v = leaf.view();
+    bool exact = false;
+    bt::LeafLowerBound(v, value, rid, &exact);
+    if (exact) {
+      return Status::Corruption("logical undo: deleted key reappeared");
+    }
+    if (v.FreeSpaceForNewCell() >= cell.size()) {
+      ARIES_ASSIGN_OR_RETURN(
+          Lsn lsn, LogKeyOp(txn, bt::kOpInsertKey, leaf.page_id(), value, rid,
+                            /*set_delete_bit=*/false, /*clr=*/true,
+                            rec.prev_lsn));
+      ARIES_RETURN_NOT_OK(bt::Apply(
+          bt::kOpInsertKey, bt::EncodeKeyOp(index_id_, value, rid, false), v));
+      leaf.MarkDirty(lsn);
+      return Status::OK();
+    }
+    // No room to put the key back (§3 reason 1 — the freed space was
+    // consumed): split under the tree latch. The SMO's records are regular
+    // (not CLRs) so a crash mid-SMO restores consistency; the nested top
+    // action is anchored at rec.lsn so a crash after the dummy CLR but
+    // before the insert CLR resumes by re-undoing this record.
+    leaf.Release();
+    tree_latch_.LockExclusive();
+    if (ctx_->metrics != nullptr) {
+      ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
+                                                       std::memory_order_relaxed);
+    }
+    Status s = [&]() -> Status {
+      txn->BeginNtaAt(rec.lsn);
+      std::vector<PageId> touched;
+      Status ms = MakeRoomForKey(txn, value, rid, &touched);
+      if (!ms.ok()) {
+        txn->PopNta();
+        return ms;
+      }
+      ARIES_RETURN_NOT_OK(ctx_->txns->EndNta(txn));
+      ClearSmBits(touched);
+      PageGuard xleaf;
+      ARIES_RETURN_NOT_OK(TraverseToLeaf(value, rid, /*for_modify=*/true,
+                                         &xleaf, /*tree_latch_held=*/true));
+      PageView xv = xleaf.view();
+      if (xv.FreeSpaceForNewCell() < cell.size()) {
+        return Status::Corruption("logical undo: split left no room");
+      }
+      ARIES_ASSIGN_OR_RETURN(
+          Lsn lsn, LogKeyOp(txn, bt::kOpInsertKey, xleaf.page_id(), value, rid,
+                            /*set_delete_bit=*/false, /*clr=*/true,
+                            rec.prev_lsn));
+      ARIES_RETURN_NOT_OK(bt::Apply(
+          bt::kOpInsertKey, bt::EncodeKeyOp(index_id_, value, rid, false), xv));
+      xleaf.MarkDirty(lsn);
+      return Status::OK();
+    }();
+    tree_latch_.UnlockExclusive();
+    return s;
+  }
+  return Status::Corruption("logical undo (delete) did not settle");
+}
+
+}  // namespace ariesim

@@ -1,0 +1,293 @@
+#include "buffer/buffer_pool.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace ariesim {
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    mode_ = o.mode_;
+    o.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageView PageGuard::view() const {
+  return PageView(frame_->data.get(), pool_->page_size());
+}
+
+PageId PageGuard::page_id() const { return frame_->page_id; }
+
+void PageGuard::MarkDirty(Lsn lsn) {
+  view().set_page_lsn(lsn);
+  pool_->NoteDirty(frame_, lsn);
+  pool_->ParanoidObserve(frame_->page_id, lsn);
+}
+
+void PageGuard::Release() {
+  if (frame_ != nullptr) {
+    frame_->latch.Unlock(mode_);
+    pool_->Unpin(frame_);
+    frame_ = nullptr;
+  }
+}
+
+void PinGuard::Release() {
+  if (frame_ != nullptr) {
+    pool_->Unpin(frame_);
+    frame_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, LogManager* log, size_t frames,
+                       Metrics* metrics, bool verify_checksums)
+    : disk_(disk),
+      log_(log),
+      metrics_(metrics),
+      page_size_(disk->page_size()),
+      verify_checksums_(verify_checksums) {
+  frames_.reserve(frames);
+  for (size_t i = 0; i < frames; ++i) {
+    auto f = std::make_unique<Frame>();
+    f->data = std::make_unique<char[]>(page_size_);
+    free_frames_.push_back(f.get());
+    frames_.push_back(std::move(f));
+  }
+}
+
+Result<Frame*> BufferPool::FetchFrame(PageId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      Frame* f = it->second;
+      if (++f->pin_count == 1) {
+        auto pos = lru_pos_.find(f);
+        if (pos != lru_pos_.end()) {
+          lru_.erase(pos->second);
+          lru_pos_.erase(pos);
+        }
+      }
+      return f;
+    }
+    // Wait while someone else is loading this page OR while an evicted
+    // dirty copy of it is still being written back — re-reading the page
+    // from disk before the write-back lands would resurrect a stale
+    // version and silently lose committed updates.
+    if (io_in_progress_.count(id) != 0 || writing_back_.count(id) != 0) {
+      io_cv_.wait(lk);
+      continue;  // re-check the table
+    }
+    // Miss: claim a frame.
+    Frame* victim = nullptr;
+    if (!free_frames_.empty()) {
+      victim = free_frames_.back();
+      free_frames_.pop_back();
+    } else if (!lru_.empty()) {
+      victim = lru_.front();
+      lru_.pop_front();
+      lru_pos_.erase(victim);
+      page_table_.erase(victim->page_id);
+    } else {
+      return Status::Busy("buffer pool exhausted (all frames pinned)");
+    }
+    victim->pin_count = 1;
+    io_in_progress_.insert(id);
+    bool victim_dirty = victim->dirty;
+    PageId victim_old_id = victim->page_id;
+    if (victim_dirty) writing_back_.insert(victim_old_id);
+    lk.unlock();
+
+    Status s;
+    if (victim_dirty) s = WriteFrame(victim);
+    if (s.ok()) {
+      s = disk_->ReadPage(id, victim->data.get());
+      if (s.ok() && verify_checksums_) {
+        PageView v(victim->data.get(), page_size_);
+        if (v.type() != PageType::kInvalid) {
+          uint32_t crc = crc32c::Value(victim->data.get() + 4, page_size_ - 4);
+          if (v.checksum() != 0 && v.checksum() != crc32c::Mask(crc)) {
+            s = Status::Corruption("page " + std::to_string(id) +
+                                   " checksum mismatch");
+          }
+        }
+      }
+    }
+
+    if (s.ok()) {
+      PageView lv(victim->data.get(), page_size_);
+      Status ps = ParanoidCheckLoad(id, lv.page_lsn());
+      if (!ps.ok()) s = ps;
+    }
+    lk.lock();
+    io_in_progress_.erase(id);
+    if (victim_dirty) writing_back_.erase(victim_old_id);
+    if (!s.ok()) {
+      victim->pin_count = 0;
+      victim->page_id = kInvalidPageId;
+      victim->dirty = false;
+      free_frames_.push_back(victim);
+      io_cv_.notify_all();
+      return s;
+    }
+    victim->page_id = id;
+    victim->dirty = false;
+    victim->rec_lsn = kNullLsn;
+    page_table_[id] = victim;
+    io_cv_.notify_all();
+    return victim;
+  }
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id, LatchMode mode) {
+  ARIES_ASSIGN_OR_RETURN(Frame * f, FetchFrame(id));
+  f->latch.Lock(mode);
+  if (metrics_ != nullptr) {
+    metrics_->page_latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return PageGuard(this, f, mode);
+}
+
+Result<PageGuard> BufferPool::TryFetchPage(PageId id, LatchMode mode) {
+  ARIES_ASSIGN_OR_RETURN(Frame * f, FetchFrame(id));
+  if (!f->latch.TryLock(mode)) {
+    Unpin(f);
+    return Status::Busy("page latch busy");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->page_latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return PageGuard(this, f, mode);
+}
+
+Result<PinGuard> BufferPool::PinPage(PageId id) {
+  ARIES_ASSIGN_OR_RETURN(Frame * f, FetchFrame(id));
+  return PinGuard(this, f);
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (--frame->pin_count == 0) {
+    lru_.push_back(frame);
+    lru_pos_[frame] = std::prev(lru_.end());
+  }
+}
+
+void BufferPool::NoteDirty(Frame* frame, Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!frame->dirty) {
+    frame->dirty = true;
+    frame->rec_lsn = lsn;
+  }
+}
+
+Status BufferPool::WriteFrame(Frame* frame) {
+  PageView v(frame->data.get(), page_size_);
+  // WAL rule: the log must be durable up to the page's page_LSN.
+  ARIES_RETURN_NOT_OK(log_->FlushTo(v.page_lsn()));
+  uint32_t crc = crc32c::Value(frame->data.get() + 4, page_size_ - 4);
+  v.set_checksum(crc32c::Mask(crc));
+  ARIES_RETURN_NOT_OK(disk_->WritePage(frame->page_id, frame->data.get()));
+  if (paranoid_) {
+    std::lock_guard<std::mutex> plk(paranoid_mu_);
+    Lsn& w = last_written_[frame->page_id];
+    if (v.page_lsn() > w) w = v.page_lsn();
+  }
+  return Status::OK();
+}
+
+void BufferPool::ParanoidObserve(PageId id, Lsn lsn) {
+  if (!paranoid_) return;
+  std::lock_guard<std::mutex> plk(paranoid_mu_);
+  Lsn& o = last_observed_[id];
+  if (lsn > o) o = lsn;
+}
+
+Status BufferPool::ParanoidCheckLoad(PageId id, Lsn loaded_lsn) {
+  if (!paranoid_) return Status::OK();
+  std::lock_guard<std::mutex> plk(paranoid_mu_);
+  auto it = last_written_.find(id);
+  if (it != last_written_.end() && loaded_lsn < it->second) {
+    return Status::Corruption(
+        "PARANOID: stale reload of page " + std::to_string(id) + ": loaded lsn " +
+        std::to_string(loaded_lsn) + " < written " + std::to_string(it->second));
+  }
+  auto ob = last_observed_.find(id);
+  if (ob != last_observed_.end() && loaded_lsn < ob->second) {
+    return Status::Corruption(
+        "PARANOID: reload of page " + std::to_string(id) + " lost updates: lsn " +
+        std::to_string(loaded_lsn) + " < observed " + std::to_string(ob->second));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame* f = it->second;
+  if (!f->dirty) return Status::OK();
+  ++f->pin_count;
+  if (f->pin_count == 1) {
+    auto pos = lru_pos_.find(f);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+  }
+  lk.unlock();
+  // Take the page latch shared so we do not write a torn in-flight update.
+  f->latch.LockShared();
+  Status s = WriteFrame(f);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lk2(mu_);
+    f->dirty = false;
+    f->rec_lsn = kNullLsn;
+  }
+  f->latch.UnlockShared();
+  Unpin(f);
+  return s;
+}
+
+Status BufferPool::FlushAll() {
+  std::vector<PageId> dirty;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, f] : page_table_) {
+      if (f->dirty) dirty.push_back(id);
+    }
+  }
+  for (PageId id : dirty) ARIES_RETURN_NOT_OK(FlushPage(id));
+  return disk_->Sync();
+}
+
+void BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  page_table_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+  free_frames_.clear();
+  for (auto& f : frames_) {
+    f->page_id = kInvalidPageId;
+    f->pin_count = 0;
+    f->dirty = false;
+    f->rec_lsn = kNullLsn;
+    free_frames_.push_back(f.get());
+  }
+}
+
+std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<PageId, Lsn>> dpt;
+  for (auto& [id, f] : page_table_) {
+    if (f->dirty) dpt.emplace_back(id, f->rec_lsn);
+  }
+  return dpt;
+}
+
+}  // namespace ariesim

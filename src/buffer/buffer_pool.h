@@ -1,0 +1,162 @@
+// Buffer pool implementing the ARIES steal / no-force policies:
+//  - steal: a dirty page may be written to disk before its transaction
+//    commits (after forcing the log up to the page's page_LSN — the WAL
+//    rule), so uncommitted changes can reach disk and must be undoable.
+//  - no-force: commit does not flush data pages, only the log.
+//
+// Page latches (paper §2.1) live in the frames; callers obtain them through
+// RAII PageGuards which also hold the pin.
+#pragma once
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/rwlatch.h"
+#include "wal/log_manager.h"
+
+namespace ariesim {
+
+struct Frame {
+  std::unique_ptr<char[]> data;
+  PageId page_id = kInvalidPageId;
+  int pin_count = 0;    // protected by pool mutex
+  bool dirty = false;   // protected by pool mutex
+  Lsn rec_lsn = kNullLsn;  ///< LSN that first dirtied the page (for the DPT)
+  RwLatch latch;
+};
+
+class BufferPool;
+
+/// RAII pin + latch over a page. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Frame* frame, LatchMode mode)
+      : pool_(pool), frame_(frame), mode_(mode) {}
+  ~PageGuard() { Release(); }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+
+  bool valid() const { return frame_ != nullptr; }
+  PageView view() const;
+  PageId page_id() const;
+  LatchMode mode() const { return mode_; }
+
+  /// Record that the holder changed the page under log record `lsn`:
+  /// updates page_LSN and the dirty/recLSN bookkeeping.
+  void MarkDirty(Lsn lsn);
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+  LatchMode mode_ = LatchMode::kShared;
+};
+
+/// RAII pin without a latch (used to "fix needed pages in the buffer pool"
+/// before acquiring the tree latch, paper Figure 8).
+class PinGuard {
+ public:
+  PinGuard() = default;
+  PinGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+  ~PinGuard() { Release(); }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+  PinGuard(PinGuard&& o) noexcept { *this = std::move(o); }
+  PinGuard& operator=(PinGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      o.frame_ = nullptr;
+    }
+    return *this;
+  }
+  void Release();
+  bool valid() const { return frame_ != nullptr; }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, LogManager* log, size_t frames,
+             Metrics* metrics, bool verify_checksums);
+
+  /// Paranoid mode (tests): track the newest page_LSN written to disk and
+  /// the newest page_LSN ever observed in memory per page; fail fast on a
+  /// stale reload or on eviction of a clean frame that is newer than disk.
+  void SetParanoid(bool on) { paranoid_ = on; }
+
+  /// Pin + latch page `id`, reading it from disk on a miss.
+  Result<PageGuard> FetchPage(PageId id, LatchMode mode);
+  /// Conditional variant: kBusy if the latch is not immediately grantable.
+  Result<PageGuard> TryFetchPage(PageId id, LatchMode mode);
+  /// Pin without latching.
+  Result<PinGuard> PinPage(PageId id);
+
+  /// Write one page out (forcing the log first). Used by checkpoints and by
+  /// tests that simulate a steal of a specific page.
+  Status FlushPage(PageId id);
+  /// Flush every dirty page (clean shutdown).
+  Status FlushAll();
+
+  /// Crash simulation: drop all frames without flushing.
+  void DropAll();
+
+  /// Snapshot of the dirty page table for fuzzy checkpoints.
+  std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
+
+  size_t page_size() const { return page_size_; }
+
+ private:
+  friend class PageGuard;
+  friend class PinGuard;
+
+  /// Returns the frame holding `id`, pinned. Caller latches afterwards.
+  Result<Frame*> FetchFrame(PageId id);
+  void Unpin(Frame* frame);
+  void NoteDirty(Frame* frame, Lsn lsn);
+  Status WriteFrame(Frame* frame);  // WAL rule + checksum + disk write
+  void ParanoidObserve(PageId id, Lsn lsn);
+  Status ParanoidCheckLoad(PageId id, Lsn loaded_lsn);
+
+  DiskManager* disk_;
+  LogManager* log_;
+  Metrics* metrics_;
+  size_t page_size_;
+  bool verify_checksums_;
+
+  std::mutex mu_;
+  std::condition_variable io_cv_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, Frame*> page_table_;
+  std::list<Frame*> lru_;  // front = coldest unpinned frame
+  std::unordered_map<Frame*, std::list<Frame*>::iterator> lru_pos_;
+  std::unordered_set<PageId> io_in_progress_;
+  /// Pages whose evicted dirty frame is still being written back; readers
+  /// must not reload them from disk until the write completes.
+  std::unordered_set<PageId> writing_back_;
+  std::vector<Frame*> free_frames_;
+  bool paranoid_ = false;
+  std::mutex paranoid_mu_;
+  std::unordered_map<PageId, Lsn> last_written_;   // newest LSN on disk
+  std::unordered_map<PageId, Lsn> last_observed_;  // newest LSN seen in memory
+};
+
+}  // namespace ariesim

@@ -1,0 +1,70 @@
+// Engine configuration knobs. Tests shrink the page size to force SMOs with
+// tiny workloads; benches use the default 4 KiB pages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ariesim {
+
+/// Which locking protocol an index uses. See DESIGN.md §2 and the paper's
+/// §2.1 (data-only vs index-specific locking) and §1 (ARIES/KVL baseline).
+enum class LockingProtocolKind : uint8_t {
+  kDataOnly = 0,        ///< ARIES/IM default: key lock == record lock
+  kIndexSpecific = 1,   ///< ARIES/IM variant: lock (index, key-value, RID)
+  kKeyValue = 2,        ///< ARIES/KVL baseline: lock (index, key-value)
+  kNone = 3,            ///< no index-level locking (single-threaded benches)
+};
+
+/// Lock granularity for a table's data.
+enum class LockGranularity : uint8_t {
+  kRecord = 0,  ///< lock individual RIDs (finest)
+  kPage = 1,    ///< lock data page ids
+  kTable = 2,   ///< one lock per table (coarsest)
+};
+
+struct Options {
+  /// Size of every page in bytes. Must be a power of two, >= 256.
+  size_t page_size = 4096;
+
+  /// Number of buffer-pool frames.
+  size_t buffer_pool_frames = 1024;
+
+  /// WAL in-memory buffer capacity in bytes.
+  size_t log_buffer_size = 1 << 20;
+
+  /// fdatasync the log file on every flush (true for durability; tests and
+  /// some benches disable it to measure CPU-bound path lengths).
+  bool fsync_log = true;
+
+  /// Default locking protocol for newly created indexes.
+  LockingProtocolKind index_locking = LockingProtocolKind::kDataOnly;
+
+  /// Default lock granularity for table data.
+  LockGranularity lock_granularity = LockGranularity::kRecord;
+
+  /// Baseline ablation: when true, every index operation acquires the tree
+  /// latch (S for reads/updates, X across whole SMOs including the triggering
+  /// operation), modeling protocols where SMOs block concurrent traversals.
+  bool block_traversal_during_smo = false;
+
+  /// Run restart recovery on open when a log exists (normally true; tests
+  /// may disable it to inspect the raw crashed state).
+  bool recover_on_open = true;
+
+  /// Verify per-page CRC32C checksums on read.
+  bool verify_checksums = true;
+
+  /// Fire a checkpoint automatically after this many log bytes (0 = never).
+  uint64_t checkpoint_interval_bytes = 0;
+
+  /// Simulated device latency added to every page read/write, in
+  /// microseconds (0 = none). The benchmark substrate knob: on a machine
+  /// whose files sit in the OS page cache, real I/O latency vanishes and
+  /// with it every effect the paper attributes to holding latches across
+  /// I/O; this restores it deterministically.
+  uint32_t sim_io_delay_us = 0;
+};
+
+}  // namespace ariesim

@@ -1,0 +1,28 @@
+// Aggregated engine context threaded through the resource managers so each
+// module depends on interfaces, not on Database.
+#pragma once
+
+#include "common/config.h"
+#include "common/metrics.h"
+
+namespace ariesim {
+
+class BufferPool;
+class LogManager;
+class LockManager;
+class TransactionManager;
+class SpaceManager;
+class RecoveryManager;
+
+struct EngineContext {
+  BufferPool* pool = nullptr;
+  LogManager* log = nullptr;
+  LockManager* locks = nullptr;
+  TransactionManager* txns = nullptr;
+  SpaceManager* space = nullptr;
+  RecoveryManager* recovery = nullptr;
+  Metrics* metrics = nullptr;
+  Options options;
+};
+
+}  // namespace ariesim

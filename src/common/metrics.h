@@ -1,0 +1,70 @@
+// Instrumentation counters. The locking-matrix tests and the lock-count /
+// concurrency benches read these to verify the paper's Figure 2 and its
+// efficiency claims (number of locks acquired, pages accessed during redo /
+// undo / normal processing, logical vs page-oriented undos).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ariesim {
+
+struct Metrics {
+  // Lock manager.
+  std::atomic<uint64_t> lock_requests{0};
+  std::atomic<uint64_t> locks_granted{0};
+  std::atomic<uint64_t> lock_waits{0};
+  std::atomic<uint64_t> lock_conditional_denied{0};
+  std::atomic<uint64_t> deadlocks{0};
+
+  // Latches.
+  std::atomic<uint64_t> page_latch_acquisitions{0};
+  std::atomic<uint64_t> tree_latch_acquisitions{0};
+  std::atomic<uint64_t> tree_latch_waits{0};
+
+  // I/O.
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
+  std::atomic<uint64_t> log_flushes{0};
+  std::atomic<uint64_t> log_records{0};
+  std::atomic<uint64_t> log_bytes{0};
+
+  // B-tree.
+  std::atomic<uint64_t> smo_splits{0};
+  std::atomic<uint64_t> smo_page_deletes{0};
+  std::atomic<uint64_t> traversal_restarts{0};
+  std::atomic<uint64_t> smo_waits{0};  ///< traversals that waited out an SMO
+
+  // Undo paths (paper §3 "Undo Processing").
+  std::atomic<uint64_t> page_oriented_undos{0};
+  std::atomic<uint64_t> logical_undos{0};
+
+  // Recovery passes.
+  std::atomic<uint64_t> redo_records_applied{0};
+  std::atomic<uint64_t> redo_records_skipped{0};
+  std::atomic<uint64_t> undo_records{0};
+
+  void Reset() {
+    auto z = [](std::atomic<uint64_t>& a) { a.store(0, std::memory_order_relaxed); };
+    z(lock_requests); z(locks_granted); z(lock_waits); z(lock_conditional_denied);
+    z(deadlocks); z(page_latch_acquisitions); z(tree_latch_acquisitions);
+    z(tree_latch_waits); z(pages_read); z(pages_written); z(log_flushes);
+    z(log_records); z(log_bytes); z(smo_splits); z(smo_page_deletes);
+    z(traversal_restarts); z(smo_waits); z(page_oriented_undos); z(logical_undos);
+    z(redo_records_applied); z(redo_records_skipped); z(undo_records);
+  }
+
+  std::string ToString() const {
+    auto g = [](const std::atomic<uint64_t>& a) {
+      return std::to_string(a.load(std::memory_order_relaxed));
+    };
+    return "locks=" + g(locks_granted) + " lock_waits=" + g(lock_waits) +
+           " deadlocks=" + g(deadlocks) + " reads=" + g(pages_read) +
+           " writes=" + g(pages_written) + " log_recs=" + g(log_records) +
+           " splits=" + g(smo_splits) + " page_dels=" + g(smo_page_deletes) +
+           " po_undos=" + g(page_oriented_undos) + " log_undos=" + g(logical_undos);
+  }
+};
+
+}  // namespace ariesim

@@ -1,0 +1,138 @@
+// Status / Result error-handling primitives, in the style used by
+// RocksDB and Arrow: no exceptions cross module boundaries; every fallible
+// operation returns a Status (or Result<T> when it also produces a value).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ariesim {
+
+/// Error taxonomy for the engine. Codes are stable and coarse; the message
+/// carries detail.
+enum class Code : int {
+  kOk = 0,
+  kNotFound = 1,        ///< key / record / page absent
+  kDuplicate = 2,       ///< unique-key violation
+  kBusy = 3,            ///< conditional latch/lock request not grantable now
+  kDeadlock = 4,        ///< lock request chosen as deadlock victim
+  kAborted = 5,         ///< transaction aborted (rolled back)
+  kIOError = 6,         ///< disk / file failure
+  kCorruption = 7,      ///< checksum or structural invariant violation
+  kInvalidArgument = 8, ///< caller misuse
+  kNoSpace = 9,         ///< page cannot hold the entry
+  kRetry = 10,          ///< internal: restart the operation (traversal race)
+  kNotSupported = 11,
+};
+
+/// Lightweight status object. Ok status allocates nothing.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(Code::kNotFound, std::move(m));
+  }
+  static Status Duplicate(std::string m = "duplicate key") {
+    return Status(Code::kDuplicate, std::move(m));
+  }
+  static Status Busy(std::string m = "busy") {
+    return Status(Code::kBusy, std::move(m));
+  }
+  static Status Deadlock(std::string m = "deadlock victim") {
+    return Status(Code::kDeadlock, std::move(m));
+  }
+  static Status Aborted(std::string m = "transaction aborted") {
+    return Status(Code::kAborted, std::move(m));
+  }
+  static Status IOError(std::string m) { return Status(Code::kIOError, std::move(m)); }
+  static Status Corruption(std::string m) {
+    return Status(Code::kCorruption, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(Code::kInvalidArgument, std::move(m));
+  }
+  static Status NoSpace(std::string m = "page full") {
+    return Status(Code::kNoSpace, std::move(m));
+  }
+  static Status Retry(std::string m = "retry traversal") {
+    return Status(Code::kRetry, std::move(m));
+  }
+  static Status NotSupported(std::string m = "not supported") {
+    return Status(Code::kNotSupported, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsDuplicate() const { return code_ == Code::kDuplicate; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsRetry() const { return code_ == Code::kRetry; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return "error(" + std::to_string(static_cast<int>(code_)) + "): " + msg_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T>: a Status or a value. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}                 // NOLINT implicit
+  Result(Status status) : var_(std::move(status)) {           // NOLINT implicit
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+#define ARIES_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::ariesim::Status _st = (expr);        \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define ARIES_CONCAT_INNER(a, b) a##b
+#define ARIES_CONCAT(a, b) ARIES_CONCAT_INNER(a, b)
+
+#define ARIES_ASSIGN_OR_RETURN(lhs, expr) \
+  ARIES_ASSIGN_OR_RETURN_IMPL(ARIES_CONCAT(_aries_res_, __COUNTER__), lhs, expr)
+
+#define ARIES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace ariesim

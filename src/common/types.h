@@ -1,0 +1,64 @@
+// Core identifier types shared across the engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace ariesim {
+
+/// Log sequence number. In this engine an LSN is the byte offset of the log
+/// record in the (conceptually infinite) log file, as in ARIES
+/// implementations that use offset-valued LSNs. 0 = "null LSN".
+using Lsn = uint64_t;
+inline constexpr Lsn kNullLsn = 0;
+
+/// Page identifier within the single tablespace file. Page 0 is the meta
+/// page; kInvalidPageId marks "no page".
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+inline constexpr PageId kMetaPageId = 0;
+
+/// Transaction identifier; monotonically increasing. 0 = "no transaction"
+/// (used by redo-only system actions).
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Object (table / index) identifier, assigned by the catalog.
+using ObjectId = uint32_t;
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+/// Record identifier: (data page, slot). RIDs are stable for the lifetime of
+/// the record — slots are never reused while an uncommitted delete could
+/// still be rolled back (the inserter must win a conditional lock on the RID
+/// before reusing its slot).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+  auto operator<=>(const Rid&) const = default;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xFFFF)};
+  }
+  bool IsValid() const { return page_id != kInvalidPageId; }
+  std::string ToString() const {
+    return "(" + std::to_string(page_id) + "," + std::to_string(slot) + ")";
+  }
+};
+
+inline constexpr Rid kInvalidRid{};
+
+}  // namespace ariesim
+
+template <>
+struct std::hash<ariesim::Rid> {
+  size_t operator()(const ariesim::Rid& r) const {
+    return std::hash<uint64_t>()(r.Pack());
+  }
+};

@@ -1,0 +1,99 @@
+#include "db/catalog.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ariesim {
+
+Status Catalog::Load() {
+  std::ifstream in(path_);
+  if (!in.good()) return Status::NotFound("no catalog at " + path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "next") {
+      ls >> next_id_;
+    } else if (kind == "table") {
+      TableMeta t;
+      ls >> t.id >> t.name >> t.num_columns >> t.first_page;
+      tables_[t.name] = t;
+    } else if (kind == "index") {
+      IndexMeta i;
+      int unique, proto;
+      ls >> i.id >> i.name >> i.table_id >> i.column >> unique >> i.root >>
+          proto;
+      i.unique = unique != 0;
+      i.protocol = static_cast<LockingProtocolKind>(proto);
+      indexes_[i.name] = i;
+    }
+    if (!ls && kind != "#") {
+      return Status::Corruption("bad catalog line: " + line);
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::Save() const {
+  std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) return Status::IOError("cannot write " + tmp);
+    out << "# ariesim catalog\n";
+    out << "next " << next_id_ << "\n";
+    for (auto& [name, t] : tables_) {
+      out << "table " << t.id << " " << t.name << " " << t.num_columns << " "
+          << t.first_page << "\n";
+    }
+    for (auto& [name, i] : indexes_) {
+      out << "index " << i.id << " " << i.name << " " << i.table_id << " "
+          << i.column << " " << (i.unique ? 1 : 0) << " " << i.root << " "
+          << static_cast<int>(i.protocol) << "\n";
+    }
+    out.flush();
+    if (!out.good()) return Status::IOError("catalog write failed");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("catalog rename failed");
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddTable(TableMeta meta) {
+  if (tables_.count(meta.name) != 0) {
+    return Status::Duplicate("table exists: " + meta.name);
+  }
+  tables_[meta.name] = std::move(meta);
+  return Save();
+}
+
+Status Catalog::AddIndex(IndexMeta meta) {
+  if (indexes_.count(meta.name) != 0) {
+    return Status::Duplicate("index exists: " + meta.name);
+  }
+  indexes_[meta.name] = std::move(meta);
+  return Save();
+}
+
+const TableMeta* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const IndexMeta* Catalog::FindIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const IndexMeta*> Catalog::IndexesOf(ObjectId table_id) const {
+  std::vector<const IndexMeta*> out;
+  for (auto& [name, i] : indexes_) {
+    if (i.table_id == table_id) out.push_back(&i);
+  }
+  return out;
+}
+
+}  // namespace ariesim

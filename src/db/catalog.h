@@ -1,0 +1,60 @@
+// Catalog: table / index metadata, persisted in a sidecar file rewritten
+// atomically on DDL. DDL is not transactional in this engine (each DDL
+// statement commits its page allocations and forces a checkpoint before the
+// catalog file is updated); see DESIGN.md.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ariesim {
+
+struct TableMeta {
+  ObjectId id = kInvalidObjectId;
+  std::string name;
+  uint32_t num_columns = 0;
+  PageId first_page = kInvalidPageId;
+};
+
+struct IndexMeta {
+  ObjectId id = kInvalidObjectId;
+  std::string name;
+  ObjectId table_id = kInvalidObjectId;
+  uint32_t column = 0;
+  bool unique = false;
+  PageId root = kInvalidPageId;
+  LockingProtocolKind protocol = LockingProtocolKind::kDataOnly;
+};
+
+class Catalog {
+ public:
+  explicit Catalog(std::string path) : path_(std::move(path)) {}
+
+  Status Load();
+  Status Save() const;
+
+  ObjectId NextObjectId() { return next_id_++; }
+
+  Status AddTable(TableMeta meta);
+  Status AddIndex(IndexMeta meta);
+
+  const TableMeta* FindTable(const std::string& name) const;
+  const IndexMeta* FindIndex(const std::string& name) const;
+  std::vector<const IndexMeta*> IndexesOf(ObjectId table_id) const;
+  const std::map<std::string, TableMeta>& tables() const { return tables_; }
+  const std::map<std::string, IndexMeta>& indexes() const { return indexes_; }
+
+ private:
+  std::string path_;
+  ObjectId next_id_ = 1;
+  std::map<std::string, TableMeta> tables_;
+  std::map<std::string, IndexMeta> indexes_;
+};
+
+}  // namespace ariesim

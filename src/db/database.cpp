@@ -1,0 +1,253 @@
+#include "db/database.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+
+namespace ariesim {
+
+Database::Database(Options options) : options_(options) {}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 Options options) {
+  std::unique_ptr<Database> db(new Database(options));
+  ARIES_RETURN_NOT_OK(db->DoOpen(dir));
+  return db;
+}
+
+Status Database::DoOpen(const std::string& dir) {
+  dir_ = dir;
+  ::mkdir(dir.c_str(), 0755);
+
+  ctx_.options = options_;
+  ctx_.metrics = &metrics_;
+
+  disk_ = std::make_unique<DiskManager>(dir + "/data.db", options_.page_size,
+                                        &metrics_, options_.sim_io_delay_us);
+  ARIES_RETURN_NOT_OK(disk_->Open());
+  bool fresh = disk_->PagesOnDisk() == 0;
+
+  log_ = std::make_unique<LogManager>(dir + "/wal.log", &metrics_,
+                                      options_.fsync_log,
+                                      options_.log_buffer_size);
+  ARIES_RETURN_NOT_OK(log_->Open());
+  pool_ = std::make_unique<BufferPool>(disk_.get(), log_.get(),
+                                       options_.buffer_pool_frames, &metrics_,
+                                       options_.verify_checksums);
+  locks_ = std::make_unique<LockManager>(&metrics_);
+  txns_ = std::make_unique<TransactionManager>(log_.get(), locks_.get());
+
+  ctx_.pool = pool_.get();
+  ctx_.log = log_.get();
+  ctx_.locks = locks_.get();
+  ctx_.txns = txns_.get();
+
+  space_ = std::make_unique<SpaceManager>(&ctx_);
+  ctx_.space = space_.get();
+
+  recovery_ = std::make_unique<RecoveryManager>(&ctx_);
+  ctx_.recovery = recovery_.get();
+  txns_->SetRecovery(recovery_.get());
+
+  records_ = std::make_unique<RecordManager>(&ctx_);
+  btree_rm_ = std::make_unique<BtreeResourceManager>(
+      &ctx_, [this](ObjectId id) -> BTree* {
+        auto it = trees_.find(id);
+        return it == trees_.end() ? nullptr : it->second.get();
+      });
+  recovery_->RegisterRm(RmId::kMeta, space_.get());
+  recovery_->RegisterRm(RmId::kHeap, records_.get());
+  recovery_->RegisterRm(RmId::kBtree, btree_rm_.get());
+
+  catalog_ = std::make_unique<Catalog>(dir + "/catalog");
+
+  if (fresh) {
+    ARIES_RETURN_NOT_OK(space_->Bootstrap());
+    ARIES_RETURN_NOT_OK(pool_->FlushAll());
+    ARIES_RETURN_NOT_OK(catalog_->Save());
+    ARIES_RETURN_NOT_OK(recovery_->TakeCheckpoint());
+    return Status::OK();
+  }
+
+  ARIES_RETURN_NOT_OK(catalog_->Load());
+  ARIES_RETURN_NOT_OK(LoadObjects());
+  if (options_.recover_on_open) {
+    ARIES_RETURN_NOT_OK(recovery_->Restart(&restart_stats_));
+  }
+  return Status::OK();
+}
+
+BTree* Database::MaterializeIndex(const IndexMeta& meta) {
+  auto proto =
+      MakeLockingProtocol(meta.protocol, locks_.get(), meta.id,
+                          meta.table_id, meta.unique, options_.lock_granularity);
+  auto tree = std::make_unique<BTree>(&ctx_, meta.id, meta.table_id, meta.root,
+                                      meta.unique, std::move(proto));
+  BTree* raw = tree.get();
+  trees_[meta.id] = std::move(tree);
+  index_names_[meta.name] = meta.id;
+  return raw;
+}
+
+Status Database::LoadObjects() {
+  for (auto& [name, t] : catalog_->tables()) {
+    auto heap = std::make_unique<HeapFile>(&ctx_, t.id, t.first_page);
+    tables_[name] =
+        std::make_unique<Table>(&ctx_, records_.get(), t, std::move(heap));
+  }
+  for (auto& [name, i] : catalog_->indexes()) {
+    BTree* tree = MaterializeIndex(i);
+    for (auto& [tname, table] : tables_) {
+      if (table->meta().id == i.table_id) {
+        table->AttachIndex(IndexHandle{i, tree});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Database::~Database() {
+  if (crashed_) return;
+  // Clean shutdown: checkpoint and flush so reopen needs no redo.
+  if (recovery_ != nullptr) recovery_->TakeCheckpoint();
+  if (pool_ != nullptr) pool_->FlushAll();
+  if (log_ != nullptr) log_->Close();
+}
+
+Transaction* Database::Begin() { return txns_->Begin(); }
+
+Status Database::Commit(Transaction* txn) {
+  ARIES_RETURN_NOT_OK(txns_->Commit(txn));
+  // Automatic fuzzy checkpointing: bound restart work by log growth.
+  uint64_t interval = options_.checkpoint_interval_bytes;
+  if (interval > 0) {
+    Lsn now = log_->next_lsn();
+    Lsn last = last_auto_checkpoint_.load(std::memory_order_relaxed);
+    if (now - last > interval &&
+        last_auto_checkpoint_.compare_exchange_strong(last, now)) {
+      ARIES_RETURN_NOT_OK(recovery_->TakeCheckpoint());
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Rollback(Transaction* txn) { return txns_->Rollback(txn); }
+
+Status Database::RollbackToSavepoint(Transaction* txn, Lsn savepoint) {
+  return txns_->RollbackToSavepoint(txn, savepoint);
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     uint32_t num_columns) {
+  if (catalog_->FindTable(name) != nullptr) {
+    return Status::Duplicate("table exists: " + name);
+  }
+  TableMeta meta;
+  meta.id = catalog_->NextObjectId();
+  meta.name = name;
+  meta.num_columns = num_columns;
+  Transaction* txn = Begin();
+  auto first = HeapFile::Create(&ctx_, meta.id, txn);
+  if (!first.ok()) {
+    Rollback(txn);
+    return first.status();
+  }
+  meta.first_page = first.value();
+  ARIES_RETURN_NOT_OK(Commit(txn));
+  ARIES_RETURN_NOT_OK(catalog_->AddTable(meta));
+  ARIES_RETURN_NOT_OK(recovery_->TakeCheckpoint());
+  auto heap = std::make_unique<HeapFile>(&ctx_, meta.id, meta.first_page);
+  auto table =
+      std::make_unique<Table>(&ctx_, records_.get(), meta, std::move(heap));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Result<BTree*> Database::CreateIndex(const std::string& table,
+                                     const std::string& name, uint32_t column,
+                                     bool unique) {
+  return CreateIndexWithProtocol(table, name, column, unique,
+                                 options_.index_locking);
+}
+
+Result<BTree*> Database::CreateIndexWithProtocol(const std::string& table,
+                                                 const std::string& name,
+                                                 uint32_t column, bool unique,
+                                                 LockingProtocolKind protocol) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table " + table);
+  if (catalog_->FindIndex(name) != nullptr) {
+    return Status::Duplicate("index exists: " + name);
+  }
+  IndexMeta meta;
+  meta.id = catalog_->NextObjectId();
+  meta.name = name;
+  meta.table_id = t->meta().id;
+  meta.column = column;
+  meta.unique = unique;
+  meta.protocol = protocol;
+
+  Transaction* txn = Begin();
+  auto root = BTree::CreateRoot(&ctx_, txn, meta.id);
+  if (!root.ok()) {
+    Rollback(txn);
+    return root.status();
+  }
+  meta.root = root.value();
+  BTree* tree = MaterializeIndex(meta);
+
+  // Backfill existing rows.
+  std::vector<std::pair<Rid, std::string>> rows;
+  Status s = t->heap()->ScanAll(&rows);
+  if (s.ok()) {
+    for (auto& [rid, data] : rows) {
+      Row row;
+      s = DecodeRow(data, &row);
+      if (!s.ok()) break;
+      if (column >= row.size()) {
+        s = Status::InvalidArgument("index column out of range");
+        break;
+      }
+      s = tree->Insert(txn, row[column], rid);
+      if (!s.ok()) break;
+    }
+  }
+  if (!s.ok()) {
+    Rollback(txn);
+    trees_.erase(meta.id);
+    index_names_.erase(name);
+    return s;
+  }
+  ARIES_RETURN_NOT_OK(Commit(txn));
+  ARIES_RETURN_NOT_OK(catalog_->AddIndex(meta));
+  ARIES_RETURN_NOT_OK(recovery_->TakeCheckpoint());
+  t->AttachIndex(IndexHandle{meta, tree});
+  return tree;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+BTree* Database::GetIndex(const std::string& name) {
+  auto it = index_names_.find(name);
+  if (it == index_names_.end()) return nullptr;
+  auto tit = trees_.find(it->second);
+  return tit == trees_.end() ? nullptr : tit->second.get();
+}
+
+Status Database::Checkpoint() { return recovery_->TakeCheckpoint(); }
+
+Status Database::FlushPage(PageId id) { return pool_->FlushPage(id); }
+
+Status Database::FlushAllPages() { return pool_->FlushAll(); }
+
+void Database::SimulateCrash() {
+  log_->DiscardUnflushed();
+  pool_->DropAll();
+  crashed_ = true;
+}
+
+}  // namespace ariesim

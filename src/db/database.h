@@ -1,0 +1,110 @@
+// Database: wires the engine together — disk manager, WAL, buffer pool,
+// lock manager, transaction manager, recovery manager, space manager,
+// record manager, catalog, tables and ARIES/IM indexes — and exposes crash
+// simulation for recovery tests. This is the top of the public API; see
+// examples/quickstart.cpp.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "buffer/buffer_pool.h"
+#include "common/context.h"
+#include "db/catalog.h"
+#include "db/table.h"
+#include "lock/lock_manager.h"
+#include "record/record_manager.h"
+#include "recovery/recovery_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/space_manager.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace ariesim {
+
+class Database {
+ public:
+  /// Open (creating if needed) a database under directory `dir`. Runs ARIES
+  /// restart recovery when a prior log exists (unless disabled in options).
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                Options options = Options());
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- transactions --------------------------------------------------------
+  Transaction* Begin();
+  Status Commit(Transaction* txn);
+  Status Rollback(Transaction* txn);
+  Status RollbackToSavepoint(Transaction* txn, Lsn savepoint);
+
+  // -- DDL -----------------------------------------------------------------
+  Result<Table*> CreateTable(const std::string& name, uint32_t num_columns);
+  /// Create an index on `column` of `table`; existing rows are indexed.
+  /// `protocol` defaults to the option's index_locking.
+  Result<BTree*> CreateIndex(const std::string& table, const std::string& name,
+                             uint32_t column, bool unique);
+  Result<BTree*> CreateIndexWithProtocol(const std::string& table,
+                                         const std::string& name,
+                                         uint32_t column, bool unique,
+                                         LockingProtocolKind protocol);
+
+  Table* GetTable(const std::string& name);
+  BTree* GetIndex(const std::string& name);
+
+  // -- maintenance / test hooks ---------------------------------------------
+  Status Checkpoint();
+  /// Force one page to disk (simulates a buffer steal in recovery tests).
+  Status FlushPage(PageId id);
+  Status FlushAllPages();
+  /// Crash simulation: discard all volatile state. The object becomes
+  /// unusable; reopen the directory to run restart recovery.
+  void SimulateCrash();
+
+  EngineContext* ctx() { return &ctx_; }
+  const Catalog* catalog() const { return catalog_.get(); }
+  Metrics& metrics() { return metrics_; }
+  LockManager* locks() { return locks_.get(); }
+  LogManager* wal() { return log_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  TransactionManager* txns() { return txns_.get(); }
+  SpaceManager* space() { return space_.get(); }
+  RecoveryManager* recovery() { return recovery_.get(); }
+  const RestartStats& restart_stats() const { return restart_stats_; }
+  const Options& options() const { return ctx_.options; }
+
+ private:
+  explicit Database(Options options);
+  Status DoOpen(const std::string& dir);
+  Status LoadObjects();
+  BTree* MaterializeIndex(const IndexMeta& meta);
+
+  Options options_;
+  Metrics metrics_;
+  EngineContext ctx_;
+  std::string dir_;
+  bool crashed_ = false;
+  std::atomic<Lsn> last_auto_checkpoint_{0};
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<SpaceManager> space_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<RecordManager> records_;
+  std::unique_ptr<BtreeResourceManager> btree_rm_;
+  std::unique_ptr<Catalog> catalog_;
+  RestartStats restart_stats_;
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<ObjectId, std::unique_ptr<BTree>> trees_;
+  std::map<std::string, ObjectId> index_names_;
+};
+
+}  // namespace ariesim

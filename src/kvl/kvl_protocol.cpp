@@ -1,0 +1,95 @@
+// ARIES/KVL-style key-value locking baseline [Moha90a], layered on the same
+// tree. Locks are taken on (index, key-value) names — NOT on individual
+// (key-value, RID) keys — which is exactly the coarseness ARIES/IM §1
+// criticizes for nonunique indexes: one uncommitted insert of a value
+// blocks every reader of any RID sharing that value. It also acquires
+// strictly more locks per single-record operation than data-only locking
+// because the record manager must still lock the record itself.
+//
+// The mode choices follow the ARIES/KVL summary table (simplified to the
+// cases exercised here):
+//   fetch:   S  commit  on current key value
+//   insert:  X  instant on next key value, IX commit on own value
+//            (unique index: X commit on own value)
+//   delete:  X  commit  on next key value, IX commit on own value
+//            (unique index: X commit on own value)
+#include "btree/locking_protocol.h"
+
+namespace ariesim {
+
+namespace {
+
+uint64_t HashKeyValue(std::string_view v) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : v) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+class KvlProtocol final : public LockingProtocol {
+ public:
+  KvlProtocol(LockManager* locks, ObjectId index_id, bool unique)
+      : locks_(locks), index_id_(index_id), unique_(unique) {}
+
+  LockName NameOf(const IndexKeyRef& k) const {
+    if (k.eof) return LockName::IndexEof(index_id_);
+    return LockName::KeyValue(index_id_, HashKeyValue(k.value));
+  }
+  LockName NameOfValue(std::string_view v) const {
+    return LockName::KeyValue(index_id_, HashKeyValue(v));
+  }
+
+  Status LockFetchCurrent(Transaction* txn, const IndexKeyRef& key,
+                          bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(key), LockMode::kS,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockUniqueCheck(Transaction* txn, const IndexKeyRef& key,
+                         bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(key), LockMode::kS,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockInsertNext(Transaction* txn, const IndexKeyRef& next,
+                        std::string_view insert_value,
+                        bool conditional) override {
+    // KVL optimization: if the next key carries the same key value as the
+    // one being inserted (nonunique duplicate), the next-key-value lock
+    // collapses into the own-value lock taken by LockInsertCurrent.
+    if (!next.eof && next.value == insert_value) return Status::OK();
+    return locks_->Lock(txn->id(), NameOf(next), LockMode::kX,
+                        LockDuration::kInstant, conditional);
+  }
+  Status LockInsertCurrent(Transaction* txn, std::string_view value, Rid,
+                           bool conditional) override {
+    return locks_->Lock(txn->id(), NameOfValue(value),
+                        unique_ ? LockMode::kX : LockMode::kIX,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockDeleteNext(Transaction* txn, const IndexKeyRef& next,
+                        std::string_view, bool conditional) override {
+    return locks_->Lock(txn->id(), NameOf(next), LockMode::kX,
+                        LockDuration::kCommit, conditional);
+  }
+  Status LockDeleteCurrent(Transaction* txn, std::string_view value, Rid,
+                           bool conditional) override {
+    return locks_->Lock(txn->id(), NameOfValue(value),
+                        unique_ ? LockMode::kX : LockMode::kIX,
+                        LockDuration::kCommit, conditional);
+  }
+
+ private:
+  LockManager* locks_;
+  ObjectId index_id_;
+  bool unique_;
+};
+
+}  // namespace
+
+std::unique_ptr<LockingProtocol> MakeKvlProtocol(LockManager* locks,
+                                                 ObjectId index_id, bool unique) {
+  return std::make_unique<KvlProtocol>(locks, index_id, unique);
+}
+
+}  // namespace ariesim

@@ -1,0 +1,330 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+namespace ariesim {
+
+LockManager::TxnLockState& LockManager::State(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    it = txns_.emplace(txn, std::make_unique<TxnLockState>()).first;
+  }
+  return *it->second;
+}
+
+LockManager::Request* LockManager::FindRequest(Queue& q, TxnId txn) {
+  for (auto& r : q.reqs) {
+    if (r.txn == txn) return &r;
+  }
+  return nullptr;
+}
+
+bool LockManager::ConversionGrantable(const Queue& q, const Request& r) const {
+  for (const auto& g : q.reqs) {
+    if (g.txn == r.txn || !g.granted) continue;
+    if (!LockCompatible(g.mode, r.conv_target)) return false;
+  }
+  return true;
+}
+
+bool LockManager::NewGrantable(const Queue& q, const Request& r) const {
+  // FIFO among new waiters; conversions always have priority; compatible
+  // with every granted mode and every pending conversion target.
+  for (const auto& g : q.reqs) {
+    if (&g == &r) break;  // only consider entries ahead of r
+    if (g.granted) {
+      if (!LockCompatible(g.mode, r.mode)) return false;
+      if (g.converting) return false;  // pending conversion blocks newcomers
+    } else {
+      return false;  // an earlier waiter blocks (FIFO)
+    }
+  }
+  // Granted entries can also sit *behind* r in the list (they were waiters
+  // granted later); check all of them too.
+  for (const auto& g : q.reqs) {
+    if (g.txn == r.txn || !g.granted) continue;
+    if (!LockCompatible(g.mode, r.mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::GrantWaiters(Queue& q) {
+  // Pass 1: conversions.
+  for (auto& r : q.reqs) {
+    if (r.granted && r.converting && ConversionGrantable(q, r)) {
+      r.mode = r.conv_target;
+      r.converting = false;
+      r.conversion_applied = true;
+      auto it = txns_.find(r.txn);
+      if (it != txns_.end()) it->second->cv.notify_all();
+    }
+  }
+  // Pass 2: new waiters, FIFO.
+  for (auto& r : q.reqs) {
+    if (r.granted) continue;
+    if (!NewGrantable(q, r)) break;
+    r.granted = true;
+    auto it = txns_.find(r.txn);
+    if (it != txns_.end()) it->second->cv.notify_all();
+  }
+}
+
+TxnId LockManager::DetectDeadlock(TxnId start) {
+  // Waits-for edges:
+  //  - a plain waiter depends on every incompatible granted holder, every
+  //    converting holder, and every earlier waiter in its queue;
+  //  - a converting holder depends on every *other* granted holder whose
+  //    mode is incompatible with its conversion target.
+  std::unordered_map<TxnId, std::vector<TxnId>> edges;
+  for (auto& [name, q] : table_) {
+    std::vector<const Request*> seen;
+    for (auto& r : q.reqs) {
+      if (r.granted && r.converting) {
+        for (auto& g : q.reqs) {
+          if (g.txn == r.txn || !g.granted) continue;
+          if (!LockCompatible(g.mode, r.conv_target)) {
+            edges[r.txn].push_back(g.txn);
+          }
+        }
+      }
+      if (!r.granted) {
+        for (const Request* prior : seen) {
+          if (prior->txn == r.txn) continue;
+          bool blocks = !prior->granted || prior->converting ||
+                        !LockCompatible(prior->mode, r.mode);
+          if (blocks) edges[r.txn].push_back(prior->txn);
+        }
+      }
+      seen.push_back(&r);
+    }
+  }
+  // Iterative DFS from `start`, looking for a cycle back to `start`.
+  struct FrameS {
+    TxnId node;
+    size_t next_child = 0;
+  };
+  std::unordered_set<TxnId> on_path{start};
+  std::vector<TxnId> path{start};
+  std::vector<FrameS> dfs{{start, 0}};
+  while (!dfs.empty()) {
+    auto& top = dfs.back();
+    auto it = edges.find(top.node);
+    if (it == edges.end() || top.next_child >= it->second.size()) {
+      on_path.erase(top.node);
+      path.pop_back();
+      dfs.pop_back();
+      continue;
+    }
+    TxnId child = it->second[top.next_child++];
+    if (child == start) {
+      return *std::max_element(path.begin(), path.end());  // youngest
+    }
+    if (on_path.insert(child).second) {
+      path.push_back(child);
+      dfs.push_back({child, 0});
+    }
+  }
+  return kInvalidTxnId;
+}
+
+Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
+                         LockDuration duration, bool conditional) {
+  if (metrics_ != nullptr) {
+    metrics_->lock_requests.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool already_held = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    TxnLockState& st = State(txn);
+    auto held_it = st.held.find(name);
+    if (held_it != st.held.end() && LockCovers(held_it->second, mode)) {
+      already_held = true;
+    } else if (held_it != st.held.end()) {
+      // ---- conversion (upgrade) -------------------------------------
+      Queue& q = table_[name];
+      Request* mine = FindRequest(q, txn);
+      if (mine == nullptr || !mine->granted) {
+        return Status::Corruption("lock table out of sync with held map");
+      }
+      LockMode target = LockSupremum(held_it->second, mode);
+      mine->converting = true;
+      mine->conv_target = target;
+      mine->prior_mode = mine->mode;
+      mine->conversion_applied = false;
+      if (ConversionGrantable(q, *mine)) {
+        mine->mode = target;
+        mine->converting = false;
+        mine->conversion_applied = true;
+      } else if (conditional) {
+        mine->converting = false;
+        if (metrics_ != nullptr) {
+          metrics_->lock_conditional_denied.fetch_add(1,
+                                                      std::memory_order_relaxed);
+        }
+        return Status::Busy("lock conversion not grantable: " + name.ToString());
+      } else {
+        if (metrics_ != nullptr) {
+          metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (mine->converting) {
+          TxnId victim = DetectDeadlock(txn);
+          if (victim != kInvalidTxnId) {
+            if (victim == txn) {
+              st.deadlock_victim = true;
+            } else {
+              auto vit = txns_.find(victim);
+              if (vit != txns_.end()) {
+                vit->second->deadlock_victim = true;
+                vit->second->cv.notify_all();
+              }
+            }
+          }
+          if (st.deadlock_victim) {
+            st.deadlock_victim = false;
+            mine->converting = false;  // keep the original granted mode
+            GrantWaiters(q);
+            if (metrics_ != nullptr) {
+              metrics_->deadlocks.fetch_add(1, std::memory_order_relaxed);
+            }
+            return Status::Deadlock("deadlock upgrading " + name.ToString());
+          }
+          st.cv.wait_for(lk, std::chrono::milliseconds(5));
+        }
+        if (!mine->conversion_applied) {
+          return Status::Corruption("conversion wait ended unapplied");
+        }
+      }
+      // Conversion applied. Instant duration reverts to the prior mode.
+      if (duration == LockDuration::kInstant) {
+        mine->mode = mine->prior_mode;
+        GrantWaiters(q);
+      } else {
+        st.held[name] = mine->mode;
+      }
+    } else {
+      // ---- fresh request ---------------------------------------------
+      Queue& q = table_[name];
+      Request r;
+      r.txn = txn;
+      r.mode = mode;
+      q.reqs.push_back(r);
+      Request* mine = &q.reqs.back();
+      if (NewGrantable(q, *mine)) {
+        mine->granted = true;
+      } else if (conditional) {
+        q.reqs.pop_back();
+        if (q.reqs.empty()) table_.erase(name);
+        if (metrics_ != nullptr) {
+          metrics_->lock_conditional_denied.fetch_add(1,
+                                                      std::memory_order_relaxed);
+        }
+        return Status::Busy("lock not grantable: " + name.ToString());
+      } else {
+        if (metrics_ != nullptr) {
+          metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (!mine->granted) {
+          TxnId victim = DetectDeadlock(txn);
+          if (victim != kInvalidTxnId) {
+            if (victim == txn) {
+              st.deadlock_victim = true;
+            } else {
+              auto vit = txns_.find(victim);
+              if (vit != txns_.end()) {
+                vit->second->deadlock_victim = true;
+                vit->second->cv.notify_all();
+              }
+            }
+          }
+          if (st.deadlock_victim) {
+            st.deadlock_victim = false;
+            q.reqs.remove_if([&](const Request& x) { return &x == mine; });
+            GrantWaiters(q);
+            if (q.reqs.empty()) table_.erase(name);
+            if (metrics_ != nullptr) {
+              metrics_->deadlocks.fetch_add(1, std::memory_order_relaxed);
+            }
+            return Status::Deadlock("deadlock on " + name.ToString());
+          }
+          st.cv.wait_for(lk, std::chrono::milliseconds(5));
+        }
+      }
+      // Granted.
+      if (duration == LockDuration::kInstant) {
+        q.reqs.remove_if([&](const Request& x) { return &x == mine; });
+        GrantWaiters(q);
+        if (q.reqs.empty()) table_.erase(name);
+      } else {
+        st.held[name] = mine->mode;
+      }
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->locks_granted.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (observer_) {
+    observer_(LockEvent{txn, name, mode, duration, already_held});
+  }
+  return Status::OK();
+}
+
+void LockManager::Unlock(TxnId txn, const LockName& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto tit = txns_.find(txn);
+  if (tit == txns_.end()) return;
+  tit->second->held.erase(name);
+  auto qit = table_.find(name);
+  if (qit == table_.end()) return;
+  qit->second.reqs.remove_if([&](const Request& r) { return r.txn == txn; });
+  GrantWaiters(qit->second);
+  if (qit->second.reqs.empty()) table_.erase(qit);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto tit = txns_.find(txn);
+  if (tit == txns_.end()) return;
+  for (auto& [name, mode] : tit->second->held) {
+    auto qit = table_.find(name);
+    if (qit == table_.end()) continue;
+    qit->second.reqs.remove_if([&](const Request& r) { return r.txn == txn; });
+    GrantWaiters(qit->second);
+    if (qit->second.reqs.empty()) table_.erase(qit);
+  }
+  txns_.erase(tit);
+}
+
+bool LockManager::Holds(TxnId txn, const LockName& name, LockMode mode) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto tit = txns_.find(txn);
+  if (tit == txns_.end()) return false;
+  auto hit = tit->second->held.find(name);
+  return hit != tit->second->held.end() && LockCovers(hit->second, mode);
+}
+
+std::string LockManager::DumpState() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (auto& [name, q] : table_) {
+    out += name.ToString() + ":";
+    for (auto& r : q.reqs) {
+      out += " txn" + std::to_string(r.txn) + "/" + LockModeName(r.mode);
+      if (r.granted) out += "*";
+      if (r.converting) {
+        out += "->" + std::string(LockModeName(r.conv_target)) + "(conv)";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+size_t LockManager::HeldCount(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto tit = txns_.find(txn);
+  return tit == txns_.end() ? 0 : tit->second->held.size();
+}
+
+}  // namespace ariesim

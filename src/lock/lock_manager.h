@@ -1,0 +1,102 @@
+// Lock manager with multiple modes, durations, conditional requests, lock
+// conversion, and waits-for-graph deadlock detection.
+//
+// Protocol contracts (paper §2.1, §4) enforced by the callers:
+//  - never wait for a lock while holding a latch — request conditionally
+//    first; on kBusy release latches, request unconditionally, revalidate;
+//  - rolling-back transactions never request locks, so they never deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_mode.h"
+
+namespace ariesim {
+
+/// Observer hook for tests/benches verifying the Figure 2 locking matrix.
+/// Called (under no internal mutex) for every successful Lock() call.
+struct LockEvent {
+  TxnId txn;
+  LockName name;
+  LockMode mode;
+  LockDuration duration;
+  bool already_held;  ///< request was covered by a lock this txn already held
+};
+using LockObserver = std::function<void(const LockEvent&)>;
+
+class LockManager {
+ public:
+  explicit LockManager(Metrics* metrics) : metrics_(metrics) {}
+
+  /// Acquire `name` in `mode` for `duration` on behalf of `txn`.
+  /// If `conditional`, returns kBusy instead of waiting.
+  /// Returns kDeadlock if the wait was chosen as a deadlock victim (the
+  /// request is withdrawn; the caller must abort the transaction).
+  Status Lock(TxnId txn, const LockName& name, LockMode mode,
+              LockDuration duration, bool conditional);
+
+  /// Release one manual-duration lock.
+  void Unlock(TxnId txn, const LockName& name);
+
+  /// Release everything the transaction holds (commit / end of rollback).
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` currently holds `name` in a mode covering `mode`.
+  bool Holds(TxnId txn, const LockName& name, LockMode mode);
+
+  /// Number of distinct lock names currently held by `txn`.
+  size_t HeldCount(TxnId txn);
+
+  void SetObserver(LockObserver obs) { observer_ = std::move(obs); }
+
+  /// Debug: human-readable dump of every queue (granted holders, pending
+  /// conversions, waiters). For deadlock forensics in tests/tools.
+  std::string DumpState();
+
+ private:
+  /// One entry per transaction per lock name. A granted entry may carry a
+  /// pending conversion (upgrade) to `conv_target`; conversions have
+  /// priority over new waiters and keep the original grant while waiting.
+  struct Request {
+    TxnId txn;
+    LockMode mode;  // granted mode when granted; requested mode when waiting
+    bool granted = false;
+    bool converting = false;
+    bool conversion_applied = false;
+    LockMode conv_target = LockMode::kIS;
+    LockMode prior_mode = LockMode::kIS;
+  };
+  struct Queue {
+    std::list<Request> reqs;  // arrival order; waiters FIFO among themselves
+  };
+  struct TxnLockState {
+    std::unordered_map<LockName, LockMode, LockNameHash> held;
+    std::condition_variable cv;
+    bool deadlock_victim = false;
+  };
+
+  Request* FindRequest(Queue& q, TxnId txn);
+  bool ConversionGrantable(const Queue& q, const Request& r) const;
+  bool NewGrantable(const Queue& q, const Request& r) const;
+  void GrantWaiters(Queue& q);
+  /// Deadlock check; returns the chosen victim (kInvalidTxnId if none).
+  /// Must be called with mu_ held.
+  TxnId DetectDeadlock(TxnId start);
+  TxnLockState& State(TxnId txn);
+
+  Metrics* metrics_;
+  LockObserver observer_;
+  std::mutex mu_;
+  std::unordered_map<LockName, Queue, LockNameHash> table_;
+  std::unordered_map<TxnId, std::unique_ptr<TxnLockState>> txns_;
+};
+
+}  // namespace ariesim

@@ -1,0 +1,140 @@
+// Lock modes, durations, and lock-name spaces (paper §1.2, §2.1, Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace ariesim {
+
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kSIX = 3, kX = 4 };
+
+/// Lock durations (paper Figure 2):
+///  - instant: wait until grantable, then release immediately. Used for the
+///    next-key lock during Insert.
+///  - commit: held until the transaction ends. Used for fetch current-key
+///    locks and the next-key lock during Delete.
+///  - manual: released explicitly by the caller before commit.
+enum class LockDuration : uint8_t { kInstant = 0, kCommit = 1, kManual = 2 };
+
+inline const char* LockModeName(LockMode m) {
+  static const char* kNames[] = {"IS", "IX", "S", "SIX", "X"};
+  return kNames[static_cast<int>(m)];
+}
+inline const char* LockDurationName(LockDuration d) {
+  static const char* kNames[] = {"instant", "commit", "manual"};
+  return kNames[static_cast<int>(d)];
+}
+
+/// Standard compatibility matrix.
+inline bool LockCompatible(LockMode a, LockMode b) {
+  static const bool kCompat[5][5] = {
+      //            IS     IX     S      SIX    X
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+/// Least mode at least as strong as both (conversion lattice).
+inline LockMode LockSupremum(LockMode a, LockMode b) {
+  static const LockMode kSup[5][5] = {
+      /* IS  */ {LockMode::kIS, LockMode::kIX, LockMode::kS, LockMode::kSIX,
+                 LockMode::kX},
+      /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kSIX, LockMode::kSIX,
+                 LockMode::kX},
+      /* S   */ {LockMode::kS, LockMode::kSIX, LockMode::kS, LockMode::kSIX,
+                 LockMode::kX},
+      /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+                 LockMode::kX},
+      /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+                 LockMode::kX},
+  };
+  return kSup[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+inline bool LockCovers(LockMode held, LockMode requested) {
+  return LockSupremum(held, requested) == held;
+}
+
+/// The namespace a lock name lives in. Data-only locking (the paper's
+/// default) uses kRecord / kPage / kTable names for keys; index-specific
+/// locking uses kKey; KVL uses kKeyValue; the EOF of an index has its own
+/// per-index name (paper §2.2).
+enum class LockSpace : uint8_t {
+  kTable = 0,
+  kPage = 1,
+  kRecord = 2,
+  kKey = 3,       ///< (index, key-value, RID) — index-specific locking
+  kKeyValue = 4,  ///< (index, key-value) — ARIES/KVL
+  kIndexEof = 5,  ///< per-index end-of-file key
+};
+
+/// Hashed lock name. Key-valued names hash the key bytes; a hash collision
+/// merely merges two lock names (safe: only reduces concurrency, never
+/// correctness).
+struct LockName {
+  LockSpace space = LockSpace::kTable;
+  ObjectId object = kInvalidObjectId;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  bool operator==(const LockName&) const = default;
+
+  static LockName Table(ObjectId table_id) {
+    return {LockSpace::kTable, table_id, 0, 0};
+  }
+  static LockName Page(ObjectId table_id, PageId page) {
+    return {LockSpace::kPage, table_id, page, 0};
+  }
+  static LockName Record(ObjectId table_id, Rid rid) {
+    return {LockSpace::kRecord, table_id, rid.Pack(), 0};
+  }
+  static LockName Key(ObjectId index_id, uint64_t key_hash, Rid rid) {
+    return {LockSpace::kKey, index_id, key_hash, rid.Pack()};
+  }
+  static LockName KeyValue(ObjectId index_id, uint64_t key_hash) {
+    return {LockSpace::kKeyValue, index_id, key_hash, 0};
+  }
+  static LockName IndexEof(ObjectId index_id) {
+    return {LockSpace::kIndexEof, index_id, 0, 0};
+  }
+
+  std::string ToString() const {
+    static const char* kSpaces[] = {"table", "page", "rec", "key", "kv", "eof"};
+    return std::string(kSpaces[static_cast<int>(space)]) + ":" +
+           std::to_string(object) + ":" + std::to_string(a) + ":" +
+           std::to_string(b);
+  }
+};
+
+/// Lock name covering a record under the configured data-lock granularity.
+inline LockName DataLockName(LockGranularity g, ObjectId table, Rid rid) {
+  switch (g) {
+    case LockGranularity::kRecord:
+      return LockName::Record(table, rid);
+    case LockGranularity::kPage:
+      return LockName::Page(table, rid.page_id);
+    case LockGranularity::kTable:
+    default:
+      return LockName::Table(table);
+  }
+}
+
+struct LockNameHash {
+  size_t operator()(const LockName& n) const {
+    uint64_t h = static_cast<uint64_t>(n.space) * 0x9e3779b97f4a7c15ull;
+    h ^= n.object + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= n.a + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= n.b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace ariesim

@@ -1,0 +1,48 @@
+// Record manager: the heap resource manager (page-oriented redo/undo of
+// data-page records) plus the locking facade that implements data locking
+// at the granularity configured for the table (record / page / table, with
+// intent locks on the table — paper §2.1 "different granularities of
+// locking in a flexible manner").
+#pragma once
+
+#include "common/context.h"
+#include "common/status.h"
+#include "record/heap_file.h"
+#include "recovery/resource_manager.h"
+
+namespace ariesim {
+
+class RecordManager final : public ResourceManager {
+ public:
+  explicit RecordManager(EngineContext* ctx) : ctx_(ctx) {}
+
+  // -- ResourceManager (RmId::kHeap) --------------------------------------
+  Status Redo(const LogRecord& rec, PageGuard& page) override;
+  Status Undo(Transaction* txn, const LogRecord& rec) override;
+
+  // -- data locking --------------------------------------------------------
+  /// Acquire the data lock for `rid` plus the matching intent lock on the
+  /// table. `conditional` applies to the data lock only.
+  Status LockRecord(Transaction* txn, ObjectId table, Rid rid, LockMode mode,
+                    LockDuration duration, bool conditional);
+
+  // -- record operations ----------------------------------------------------
+  /// Insert: table IX + commit X on the new RID (taken inside HeapFile
+  /// under the page latch), then the logged insert.
+  Result<Rid> InsertRecord(Transaction* txn, HeapFile* heap,
+                           std::string_view record);
+  /// Delete: commit X data lock (unconditional, no latches held), then the
+  /// logged tombstone.
+  Status DeleteRecord(Transaction* txn, HeapFile* heap, Rid rid);
+  /// Fetch: S commit data lock unless `already_locked` (the ARIES/IM index
+  /// manager already locked the key == the record, paper §2.1).
+  Result<std::string> FetchRecord(Transaction* txn, HeapFile* heap, Rid rid,
+                                  bool already_locked);
+  Status UpdateRecord(Transaction* txn, HeapFile* heap, Rid rid,
+                      std::string_view record);
+
+ private:
+  EngineContext* ctx_;
+};
+
+}  // namespace ariesim

@@ -1,0 +1,92 @@
+// ARIES restart recovery (paper §1.2) and fuzzy checkpoints:
+//  - analysis: scan from the master checkpoint to the end of the log,
+//    rebuilding the transaction table and dirty page table;
+//  - redo: repeat history page-oriented from the minimum recLSN, including
+//    updates of in-flight transactions;
+//  - undo: roll back all losers in one backward sweep, writing CLRs (dummy
+//    CLRs already written make completed SMOs and nested top actions
+//    rollback-proof).
+// Normal-processing rollback shares UndoTransaction with the restart undo
+// pass, as in the paper.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "buffer/buffer_pool.h"
+#include "common/context.h"
+#include "common/status.h"
+#include "recovery/resource_manager.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace ariesim {
+
+struct RestartStats {
+  uint64_t analysis_records = 0;
+  uint64_t redo_records = 0;
+  uint64_t redo_applied = 0;
+  uint64_t undo_records = 0;
+  uint64_t loser_txns = 0;
+  Lsn redo_start = kNullLsn;
+};
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(EngineContext* ctx) : ctx_(ctx) {}
+
+  void RegisterRm(RmId id, ResourceManager* rm) {
+    rms_[static_cast<int>(id)] = rm;
+  }
+
+  /// Full restart: analysis, redo, undo, then a checkpoint.
+  Status Restart(RestartStats* stats = nullptr);
+
+  /// Fuzzy checkpoint: begin_chkpt, DPT + TT snapshot, end_chkpt, master.
+  Status TakeCheckpoint();
+
+  /// Undo `txn`'s records with LSN > `stop_at` (kNullLsn = total rollback).
+  /// Shared by normal rollback, savepoint rollback and the restart undo
+  /// pass.
+  Status UndoTransaction(Transaction* txn, Lsn stop_at);
+
+  /// Media recovery (paper §5): after the page has been restored from an
+  /// image copy (fuzzy dump), roll it forward by replaying the log from
+  /// `from` — page-oriented, applying only records for `page` whose LSN is
+  /// newer than the restored page_LSN.
+  Status RollForwardPage(PageId page, Lsn from);
+
+  /// Failure injection (tests only): abort the restart-undo pass with an
+  /// injected error after `n` records — simulating a crash *during*
+  /// recovery, to verify bounded logging via CLRs (paper §1.2). Negative
+  /// disables; the hook is one-shot.
+  void TestStopUndoAfter(int n) { test_stop_undo_after_ = n; }
+
+ private:
+  struct AnalysisResult {
+    // txn -> (last_lsn, undo_next, saw_commit)
+    struct TxnInfo {
+      Lsn last_lsn = kNullLsn;
+      Lsn undo_next = kNullLsn;
+      bool committed = false;
+    };
+    std::unordered_map<TxnId, TxnInfo> txns;
+    std::unordered_map<PageId, Lsn> dpt;  // page -> recLSN
+    Lsn end_of_log = kNullLsn;
+  };
+
+  Status Analyze(Lsn start, AnalysisResult* out, RestartStats* stats);
+  Status RedoPass(const AnalysisResult& ar, RestartStats* stats);
+  Status UndoPass(const AnalysisResult& ar, RestartStats* stats);
+
+  /// Undo a single record for `txn`, dispatching to its RM.
+  Status UndoOne(Transaction* txn, const LogRecord& rec);
+
+  ResourceManager* Rm(RmId id) { return rms_[static_cast<int>(id)]; }
+
+  EngineContext* ctx_;
+  ResourceManager* rms_[8] = {nullptr};
+  int test_stop_undo_after_ = -1;
+};
+
+}  // namespace ariesim

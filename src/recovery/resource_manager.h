@@ -1,0 +1,28 @@
+// Resource-manager dispatch: recovery interprets log records through the RM
+// that wrote them (meta / heap / btree), keeping redo page-oriented and
+// letting each RM choose page-oriented vs logical undo (paper §3).
+#pragma once
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "txn/transaction.h"
+#include "wal/log_record.h"
+
+namespace ariesim {
+
+class ResourceManager {
+ public:
+  virtual ~ResourceManager() = default;
+
+  /// Reapply the effect of `rec` to `page` (already X-latched; the caller
+  /// verified page_LSN < rec.lsn and will stamp page_LSN afterwards).
+  /// Must be page-oriented: no other page may be touched.
+  virtual Status Redo(const LogRecord& rec, PageGuard& page) = 0;
+
+  /// Undo `rec` on behalf of the rolling-back `txn`. The RM writes the
+  /// CLR(s) (and, for logical undo needing an SMO, regular records inside a
+  /// nested top action anchored at rec.lsn) and applies the inverse.
+  virtual Status Undo(Transaction* txn, const LogRecord& rec) = 0;
+};
+
+}  // namespace ariesim

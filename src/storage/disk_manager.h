@@ -1,0 +1,48 @@
+// File-backed page store for the single tablespace. The buffer pool is the
+// only client. Reads beyond EOF return zero-filled "fresh" pages so that
+// redo of an allocation can always fetch its target page.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ariesim {
+
+class DiskManager {
+ public:
+  DiskManager(std::string path, size_t page_size, Metrics* metrics,
+              uint32_t sim_io_delay_us = 0);
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  Status Open();
+  void Close();
+
+  /// Read page `id` into `buf` (page_size bytes). Beyond-EOF reads zero-fill.
+  Status ReadPage(PageId id, char* buf);
+  /// Write page `id` from `buf`. Extends the file as needed.
+  Status WritePage(PageId id, const char* buf);
+  /// fsync the data file.
+  Status Sync();
+
+  size_t page_size() const { return page_size_; }
+  /// Number of pages currently materialized in the file.
+  uint64_t PagesOnDisk() const;
+
+ private:
+  std::string path_;
+  size_t page_size_;
+  Metrics* metrics_;
+  uint32_t sim_io_delay_us_;
+  int fd_ = -1;
+  std::mutex mu_;  // serializes file extension bookkeeping
+};
+
+}  // namespace ariesim

@@ -1,0 +1,163 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace ariesim {
+
+void PageView::Init(PageId id, PageType t, ObjectId owner, uint8_t level) {
+  std::memset(d_, 0, size_);
+  set_page_id(id);
+  set_type(t);
+  set_owner_id(owner);
+  set_level(level);
+  set_slot_count(0);
+  set_free_start(static_cast<uint16_t>(kPageHeaderSize));
+  set_cell_start(static_cast<uint16_t>(size_));
+  set_next_page(kInvalidPageId);
+  set_prev_page(kInvalidPageId);
+}
+
+size_t PageView::ContiguousFree() const {
+  return static_cast<size_t>(cell_start()) - free_start();
+}
+
+size_t PageView::LiveCellBytes() const {
+  // Tombstoned cells count as live: their bytes are reserved for undo.
+  size_t total = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (!SlotDead(i)) total += SlotLen(i);
+  }
+  return total;
+}
+
+size_t PageView::FragmentedFree() const {
+  // Bytes in the cell area not occupied by live cells.
+  size_t cell_area = size_ - cell_start();
+  size_t live = LiveCellBytes();
+  return cell_area > live ? cell_area - live : 0;
+}
+
+size_t PageView::FreeSpaceForNewCell() const {
+  size_t total = ContiguousFree() + FragmentedFree();
+  return total > kSlotSize ? total - kSlotSize : 0;
+}
+
+void PageView::Compact() {
+  struct Saved {
+    uint16_t idx;
+    uint16_t rawlen;
+    std::string bytes;
+  };
+  std::vector<Saved> live;
+  live.reserve(slot_count());
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (!SlotDead(i)) live.push_back({i, SlotRawLen(i), std::string(Cell(i))});
+  }
+  uint16_t cursor = static_cast<uint16_t>(size_);
+  for (auto& s : live) {
+    cursor = static_cast<uint16_t>(cursor - s.bytes.size());
+    std::memcpy(d_ + cursor, s.bytes.data(), s.bytes.size());
+    SetSlot(s.idx, cursor, s.rawlen);  // preserves the tombstone flag
+  }
+  set_cell_start(cursor);
+}
+
+uint16_t PageView::AllocCell(uint16_t len, bool extra_slot) {
+  size_t need = len + (extra_slot ? kSlotSize : 0);
+  if (ContiguousFree() < need) {
+    if (ContiguousFree() + FragmentedFree() < need) return 0;
+    Compact();
+    if (ContiguousFree() < need) return 0;
+  }
+  uint16_t off = static_cast<uint16_t>(cell_start() - len);
+  set_cell_start(off);
+  return off;
+}
+
+Status PageView::InsertCellAt(uint16_t idx, std::string_view cell) {
+  uint16_t n = slot_count();
+  if (idx > n) return Status::InvalidArgument("slot index out of range");
+  uint16_t off = AllocCell(static_cast<uint16_t>(cell.size()), /*extra_slot=*/true);
+  if (off == 0) return Status::NoSpace();
+  // Shift slot entries [idx, n) right by one.
+  char* base = d_ + kPageHeaderSize;
+  std::memmove(base + (idx + 1) * kSlotSize, base + idx * kSlotSize,
+               (n - idx) * kSlotSize);
+  std::memcpy(d_ + off, cell.data(), cell.size());
+  SetSlot(idx, off, static_cast<uint16_t>(cell.size()));
+  set_slot_count(static_cast<uint16_t>(n + 1));
+  set_free_start(static_cast<uint16_t>(kPageHeaderSize + (n + 1) * kSlotSize));
+  return Status::OK();
+}
+
+void PageView::RemoveCellAt(uint16_t idx) {
+  uint16_t n = slot_count();
+  char* base = d_ + kPageHeaderSize;
+  std::memmove(base + idx * kSlotSize, base + (idx + 1) * kSlotSize,
+               (n - idx - 1) * kSlotSize);
+  set_slot_count(static_cast<uint16_t>(n - 1));
+  set_free_start(static_cast<uint16_t>(kPageHeaderSize + (n - 1) * kSlotSize));
+  // Cell bytes become fragmented free space, reclaimed by Compact().
+}
+
+Status PageView::ReplaceCellAt(uint16_t idx, std::string_view cell) {
+  if (idx >= slot_count()) return Status::InvalidArgument("slot index out of range");
+  if (cell.size() <= SlotLen(idx)) {
+    uint16_t off = SlotOffset(idx);
+    std::memcpy(d_ + off, cell.data(), cell.size());
+    SetSlot(idx, off, static_cast<uint16_t>(cell.size()));
+    return Status::OK();
+  }
+  // Kill the old cell (fragmented) and allocate fresh. Temporarily mark the
+  // slot dead so Compact() does not preserve the old bytes.
+  SetSlot(idx, kDeadSlotOffset, 0);
+  uint16_t off = AllocCell(static_cast<uint16_t>(cell.size()), /*extra_slot=*/false);
+  if (off == 0) return Status::NoSpace();
+  std::memcpy(d_ + off, cell.data(), cell.size());
+  SetSlot(idx, off, static_cast<uint16_t>(cell.size()));
+  return Status::OK();
+}
+
+Result<uint16_t> PageView::AppendCell(std::string_view cell) {
+  uint16_t n = slot_count();
+  uint16_t off = AllocCell(static_cast<uint16_t>(cell.size()), /*extra_slot=*/true);
+  if (off == 0) return Status::NoSpace();
+  std::memcpy(d_ + off, cell.data(), cell.size());
+  SetSlot(n, off, static_cast<uint16_t>(cell.size()));
+  set_slot_count(static_cast<uint16_t>(n + 1));
+  set_free_start(static_cast<uint16_t>(kPageHeaderSize + (n + 1) * kSlotSize));
+  return n;
+}
+
+Status PageView::PlaceCellAt(uint16_t idx, std::string_view cell) {
+  if (idx < slot_count()) {
+    if (!SlotDead(idx)) return Status::InvalidArgument("slot is live");
+    uint16_t off = AllocCell(static_cast<uint16_t>(cell.size()), /*extra_slot=*/false);
+    if (off == 0) return Status::NoSpace();
+    std::memcpy(d_ + off, cell.data(), cell.size());
+    SetSlot(idx, off, static_cast<uint16_t>(cell.size()));
+    return Status::OK();
+  }
+  if (idx != slot_count()) {
+    return Status::InvalidArgument("heap slots must be appended in order");
+  }
+  auto res = AppendCell(cell);
+  return res.status();
+}
+
+void PageView::TombstoneSlot(uint16_t idx) {
+  SetSlot(idx, SlotOffset(idx),
+          static_cast<uint16_t>(SlotRawLen(idx) | kTombstoneBit));
+}
+
+void PageView::ReviveSlot(uint16_t idx) {
+  SetSlot(idx, SlotOffset(idx),
+          static_cast<uint16_t>(SlotRawLen(idx) & kCellLenMask));
+}
+
+void PageView::PurgeSlot(uint16_t idx) {
+  SetSlot(idx, kDeadSlotOffset, 0);
+}
+
+}  // namespace ariesim

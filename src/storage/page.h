@@ -1,0 +1,181 @@
+// On-page physical layout.
+//
+// Every page starts with a fixed header carrying the ARIES page_LSN and the
+// ARIES/IM SM_Bit / Delete_Bit flags, followed by a slot directory growing
+// forward and cell storage growing backward from the end of the page:
+//
+//   [checksum][page_id][page_lsn][type][flags][nslots][free_start][cell_start]
+//   [next][prev][owner][level][pad] [slot0][slot1]... -> ... <- [cells]
+//
+// Two slot disciplines share this layout:
+//  - B-tree pages keep the slot array sorted by key; insert/remove shift
+//    slot entries (slot indexes are positional, not stable).
+//  - Heap pages keep slot indexes stable (they are the RID); a deleted
+//    record leaves a dead slot that may be revived by undo or reused by a
+//    later insert that wins the RID lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "util/coding.h"
+
+namespace ariesim {
+
+enum class PageType : uint8_t {
+  kInvalid = 0,
+  kMeta = 1,
+  kHeap = 2,
+  kBtreeLeaf = 3,
+  kBtreeInternal = 4,
+  kFree = 5,
+};
+
+/// Page flag bits (paper §2.1, §3).
+inline constexpr uint8_t kSmBit = 0x1;      ///< page participates in an
+                                            ///< incomplete SMO
+inline constexpr uint8_t kDeleteBit = 0x2;  ///< a key was deleted from this
+                                            ///< leaf since the last POSC
+
+inline constexpr size_t kPageHeaderSize = 40;
+inline constexpr size_t kSlotSize = 4;  // u16 offset + u16 len
+inline constexpr uint16_t kDeadSlotOffset = 0xFFFF;
+inline constexpr uint16_t kTombstoneBit = 0x8000;
+inline constexpr uint16_t kCellLenMask = 0x7FFF;
+
+/// A non-owning view over a page-sized buffer with typed header accessors
+/// and slotted-cell manipulation. All mutators require the caller to hold
+/// the page's X latch (enforced by the buffer-pool guard API above this).
+class PageView {
+ public:
+  PageView(char* data, size_t page_size) : d_(data), size_(page_size) {}
+
+  char* data() const { return d_; }
+  size_t page_size() const { return size_; }
+
+  // -- header accessors ------------------------------------------------
+  uint32_t checksum() const { return DecodeFixed32(d_); }
+  void set_checksum(uint32_t c) { EncodeFixed32(d_, c); }
+
+  PageId page_id() const { return DecodeFixed32(d_ + 4); }
+  void set_page_id(PageId id) { EncodeFixed32(d_ + 4, id); }
+
+  Lsn page_lsn() const { return DecodeFixed64(d_ + 8); }
+  void set_page_lsn(Lsn lsn) { EncodeFixed64(d_ + 8, lsn); }
+
+  PageType type() const { return static_cast<PageType>(d_[16]); }
+  void set_type(PageType t) { d_[16] = static_cast<char>(t); }
+
+  uint8_t flags() const { return static_cast<uint8_t>(d_[17]); }
+  void set_flags(uint8_t f) { d_[17] = static_cast<char>(f); }
+  bool sm_bit() const { return (flags() & kSmBit) != 0; }
+  void set_sm_bit(bool on) {
+    set_flags(on ? (flags() | kSmBit) : (flags() & ~kSmBit));
+  }
+  bool delete_bit() const { return (flags() & kDeleteBit) != 0; }
+  void set_delete_bit(bool on) {
+    set_flags(on ? (flags() | kDeleteBit) : (flags() & ~kDeleteBit));
+  }
+
+  uint16_t slot_count() const { return DecodeFixed16(d_ + 18); }
+  void set_slot_count(uint16_t n) { EncodeFixed16(d_ + 18, n); }
+
+  uint16_t free_start() const { return DecodeFixed16(d_ + 20); }
+  void set_free_start(uint16_t v) { EncodeFixed16(d_ + 20, v); }
+
+  uint16_t cell_start() const { return DecodeFixed16(d_ + 22); }
+  void set_cell_start(uint16_t v) { EncodeFixed16(d_ + 22, v); }
+
+  PageId next_page() const { return DecodeFixed32(d_ + 24); }
+  void set_next_page(PageId id) { EncodeFixed32(d_ + 24, id); }
+
+  PageId prev_page() const { return DecodeFixed32(d_ + 28); }
+  void set_prev_page(PageId id) { EncodeFixed32(d_ + 28, id); }
+
+  ObjectId owner_id() const { return DecodeFixed32(d_ + 32); }
+  void set_owner_id(ObjectId id) { EncodeFixed32(d_ + 32, id); }
+
+  uint8_t level() const { return static_cast<uint8_t>(d_[36]); }
+  void set_level(uint8_t l) { d_[36] = static_cast<char>(l); }
+
+  // -- lifecycle ---------------------------------------------------------
+  /// Format this buffer as a fresh page of the given type.
+  void Init(PageId id, PageType t, ObjectId owner, uint8_t level);
+
+  // -- slot / cell primitives -------------------------------------------
+  uint16_t SlotOffset(uint16_t idx) const {
+    return DecodeFixed16(d_ + kPageHeaderSize + idx * kSlotSize);
+  }
+  /// Raw length word (includes the tombstone flag bit).
+  uint16_t SlotRawLen(uint16_t idx) const {
+    return DecodeFixed16(d_ + kPageHeaderSize + idx * kSlotSize + 2);
+  }
+  uint16_t SlotLen(uint16_t idx) const {
+    return SlotRawLen(idx) & kCellLenMask;
+  }
+  bool SlotDead(uint16_t idx) const { return SlotOffset(idx) == kDeadSlotOffset; }
+  /// Tombstoned: logically deleted but bytes retained so an undo of the
+  /// delete can always be page-oriented (heap discipline only).
+  bool SlotTombstoned(uint16_t idx) const {
+    return !SlotDead(idx) && (SlotRawLen(idx) & kTombstoneBit) != 0;
+  }
+  std::string_view Cell(uint16_t idx) const {
+    return std::string_view(d_ + SlotOffset(idx), SlotLen(idx));
+  }
+
+  /// Free bytes available for one more cell of `len` bytes assuming a new
+  /// slot entry is also needed.
+  size_t FreeSpaceForNewCell() const;
+  /// Raw gap between slot array end and lowest cell.
+  size_t ContiguousFree() const;
+  /// Bytes reclaimable by compaction (dead cells / holes).
+  size_t FragmentedFree() const;
+
+  /// B-tree discipline: insert `cell` so it becomes slot `idx`, shifting
+  /// later slots right. Fails with kNoSpace if it cannot fit even after
+  /// compaction.
+  Status InsertCellAt(uint16_t idx, std::string_view cell);
+  /// B-tree discipline: remove slot `idx`, shifting later slots left.
+  void RemoveCellAt(uint16_t idx);
+  /// Replace the cell at `idx` (used for parent separator updates). May
+  /// compact; fails with kNoSpace if the larger cell cannot fit.
+  Status ReplaceCellAt(uint16_t idx, std::string_view cell);
+
+  /// Heap discipline: append a cell in a fresh slot; returns slot index.
+  Result<uint16_t> AppendCell(std::string_view cell);
+  /// Heap discipline: place a cell in a specific (dead or fresh) slot.
+  Status PlaceCellAt(uint16_t idx, std::string_view cell);
+  /// Heap discipline: tombstone the slot — logically deleted, cell bytes
+  /// retained so the delete can be undone page-oriented.
+  void TombstoneSlot(uint16_t idx);
+  /// Heap discipline: clear the tombstone flag (undo of a delete when the
+  /// bytes are still in place).
+  void ReviveSlot(uint16_t idx);
+  /// Heap discipline: fully reclaim a slot (delete known committed, or undo
+  /// of an insert). Cell bytes become fragmented free space.
+  void PurgeSlot(uint16_t idx);
+
+  /// Rewrite all live cells compactly against the end of the page.
+  void Compact();
+
+  /// Total bytes occupied by live cells.
+  size_t LiveCellBytes() const;
+
+ private:
+  void SetSlot(uint16_t idx, uint16_t off, uint16_t len) {
+    EncodeFixed16(d_ + kPageHeaderSize + idx * kSlotSize, off);
+    EncodeFixed16(d_ + kPageHeaderSize + idx * kSlotSize + 2, len);
+  }
+  /// Carve `len` bytes out of the cell area (compacting first if needed);
+  /// returns the offset, or 0 on failure.
+  uint16_t AllocCell(uint16_t len, bool extra_slot);
+
+  char* d_;
+  size_t size_;
+};
+
+}  // namespace ariesim

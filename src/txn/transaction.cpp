@@ -1,0 +1,4 @@
+#include "txn/transaction.h"
+
+// Transaction is header-only today; the TU anchors the module.
+namespace ariesim {}

@@ -1,0 +1,66 @@
+// Transaction object: log-chain anchors (LastLSN / UndoNxtLSN), state,
+// savepoints, and nested-top-action bracketing (paper §1.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ariesim {
+
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kRollingBack = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  /// LSN of the most recent log record written by this transaction.
+  Lsn last_lsn() const { return last_lsn_; }
+  void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
+
+  /// LSN of the next record to process during rollback (skips over
+  /// already-compensated suffixes and completed nested top actions).
+  Lsn undo_next_lsn() const { return undo_next_lsn_; }
+  void set_undo_next_lsn(Lsn lsn) { undo_next_lsn_ = lsn; }
+
+  /// Establish a savepoint: rollback-to returns the transaction to the
+  /// state as of this point.
+  Lsn Savepoint() const { return last_lsn_; }
+
+  // -- nested top actions -----------------------------------------------
+  /// Remember the LSN the eventual dummy CLR must point at (paper Fig 8:
+  /// "Remember LSN of last log record of transaction").
+  void BeginNta() { nta_stack_.push_back(last_lsn_); }
+  /// Anchor the NTA at an explicit LSN. Needed when an SMO runs during
+  /// rollback *before* the CLR of the record being undone is written (e.g.
+  /// a page split making room for the undo of a key delete): if a failure
+  /// hits after the dummy CLR but before that CLR, restart undo must resume
+  /// at the record being undone, not skip it.
+  void BeginNtaAt(Lsn anchor) { nta_stack_.push_back(anchor); }
+  Lsn PopNta() {
+    Lsn lsn = nta_stack_.back();
+    nta_stack_.pop_back();
+    return lsn;
+  }
+  bool InNta() const { return !nta_stack_.empty(); }
+
+ private:
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  Lsn last_lsn_ = kNullLsn;
+  Lsn undo_next_lsn_ = kNullLsn;
+  std::vector<Lsn> nta_stack_;
+};
+
+}  // namespace ariesim

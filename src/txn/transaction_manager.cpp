@@ -1,0 +1,119 @@
+#include "txn/transaction_manager.h"
+
+#include "recovery/recovery_manager.h"
+
+namespace ariesim {
+
+Transaction* TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxnId id = next_id_++;
+  auto txn = std::make_unique<Transaction>(id);
+  Transaction* raw = txn.get();
+  table_[id] = std::move(txn);
+  return raw;
+}
+
+Result<Lsn> TransactionManager::AppendTxnLog(Transaction* txn, LogRecord* rec) {
+  rec->txn_id = txn->id();
+  rec->prev_lsn = txn->last_lsn();
+  ARIES_ASSIGN_OR_RETURN(Lsn lsn, log_->Append(rec));
+  txn->set_last_lsn(lsn);
+  if (rec->IsClr()) {
+    txn->set_undo_next_lsn(rec->undo_next_lsn);
+  } else if (rec->type == LogType::kUpdate) {
+    txn->set_undo_next_lsn(lsn);
+  }
+  return lsn;
+}
+
+Result<Lsn> TransactionManager::AppendSystemLog(LogRecord* rec) {
+  rec->txn_id = kInvalidTxnId;
+  rec->prev_lsn = kNullLsn;
+  return log_->Append(rec);
+}
+
+Status TransactionManager::EndNta(Transaction* txn) {
+  Lsn anchor = txn->PopNta();
+  LogRecord dummy;
+  dummy.type = LogType::kCompensation;
+  dummy.rm = RmId::kNone;
+  dummy.undo_next_lsn = anchor;
+  ARIES_RETURN_NOT_OK(AppendTxnLog(txn, &dummy).status());
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  LogRecord commit;
+  commit.type = LogType::kCommit;
+  ARIES_ASSIGN_OR_RETURN(Lsn lsn, AppendTxnLog(txn, &commit));
+  // Commit rule: force the log up to and including the commit record.
+  ARIES_RETURN_NOT_OK(log_->FlushTo(lsn + commit.SerializedSize()));
+  return EndTransaction(txn, TxnState::kCommitted);
+}
+
+Status TransactionManager::EndTransaction(Transaction* txn, TxnState final_state) {
+  LogRecord end;
+  end.type = LogType::kEnd;
+  ARIES_RETURN_NOT_OK(AppendTxnLog(txn, &end).status());
+  locks_->ReleaseAll(txn->id());
+  txn->set_state(final_state);
+  Forget(txn->id());
+  return Status::OK();
+}
+
+Status TransactionManager::Rollback(Transaction* txn) {
+  txn->set_state(TxnState::kRollingBack);
+  LogRecord abort;
+  abort.type = LogType::kAbort;
+  ARIES_RETURN_NOT_OK(AppendTxnLog(txn, &abort).status());
+  ARIES_RETURN_NOT_OK(recovery_->UndoTransaction(txn, kNullLsn));
+  return EndTransaction(txn, TxnState::kAborted);
+}
+
+Status TransactionManager::RollbackToSavepoint(Transaction* txn, Lsn savepoint) {
+  return recovery_->UndoTransaction(txn, savepoint);
+}
+
+Transaction* TransactionManager::AdoptRestored(TxnId id, Lsn last_lsn,
+                                               Lsn undo_next_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto txn = std::make_unique<Transaction>(id);
+  txn->set_last_lsn(last_lsn);
+  txn->set_undo_next_lsn(undo_next_lsn);
+  txn->set_state(TxnState::kRollingBack);
+  Transaction* raw = txn.get();
+  table_[id] = std::move(txn);
+  if (id >= next_id_) next_id_ = id + 1;
+  return raw;
+}
+
+void TransactionManager::Forget(TxnId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Keep the object alive: callers may still hold the pointer. Move it to a
+  // graveyard emptied lazily — here simply release ownership into a retained
+  // list so pointers stay valid until shutdown.
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    finished_.push_back(std::move(it->second));
+    table_.erase(it);
+  }
+}
+
+std::vector<TxnTableEntry> TransactionManager::Snapshot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TxnTableEntry> out;
+  out.reserve(table_.size());
+  for (auto& [id, txn] : table_) {
+    out.push_back(TxnTableEntry{id, txn->state(), txn->last_lsn(),
+                                txn->undo_next_lsn()});
+  }
+  return out;
+}
+
+Transaction* TransactionManager::Find(TxnId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(id);
+  return it == table_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace ariesim

@@ -1,0 +1,5 @@
+#include "util/coding.h"
+
+// Header-only; this TU exists so the library has a stable object for the
+// module and to catch ODR issues early.
+namespace ariesim {}

@@ -1,0 +1,91 @@
+// Little-endian fixed-width encoders/decoders and length-prefixed strings,
+// used by the page layouts and the WAL serializer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ariesim {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 8);
+}
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Cursor-style reader over a byte buffer. All Get* methods advance the
+/// cursor; callers must know the layout (the WAL payloads are versioned by
+/// record opcode, not self-describing).
+class BufferReader {
+ public:
+  BufferReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit BufferReader(std::string_view s) : BufferReader(s.data(), s.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  uint8_t GetFixed8() { return GetT<uint8_t>(); }
+  uint16_t GetFixed16() { return GetT<uint16_t>(); }
+  uint32_t GetFixed32() { return GetT<uint32_t>(); }
+  uint64_t GetFixed64() { return GetT<uint64_t>(); }
+
+  std::string_view GetLengthPrefixed() {
+    uint32_t n = GetFixed32();
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T GetT() {
+    if (remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace ariesim

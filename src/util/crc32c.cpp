@@ -1,0 +1,39 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace ariesim {
+namespace crc32c {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli polynomial
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Value(const char* data, size_t n, uint32_t init) {
+  const auto& t = Table();
+  uint32_t c = ~init;
+  for (size_t i = 0; i < n; ++i) {
+    c = t[(c ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace crc32c
+}  // namespace ariesim

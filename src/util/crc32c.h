@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli), software table implementation. Used for per-page and
+// per-log-record checksums so recovery can detect the torn tail of the log
+// and page corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ariesim {
+namespace crc32c {
+
+/// Compute CRC32C of data[0..n), extending `init` (pass 0 for a fresh crc).
+uint32_t Value(const char* data, size_t n, uint32_t init = 0);
+
+/// Masked crc (RocksDB-style) so that a crc stored alongside the data it
+/// covers does not produce degenerate self-checksums.
+inline uint32_t Mask(uint32_t crc) { return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul; }
+inline uint32_t Unmask(uint32_t m) {
+  uint32_t rot = m - 0xa282ead8ul;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace crc32c
+}  // namespace ariesim

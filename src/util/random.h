@@ -1,0 +1,49 @@
+// Deterministic pseudo-random generator for tests and workload generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ariesim {
+
+/// xorshift128+ generator; fast and reproducible across platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    s0_ = seed ^ 0x2545F4914F6CDD1Dull;
+    s1_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  /// True with probability pct/100.
+  bool Percent(uint32_t pct) { return Uniform(100) < pct; }
+
+  /// Fixed-width zero-padded decimal key, handy for ordered workloads.
+  std::string Key(uint64_t v, int width = 10) {
+    std::string s = std::to_string(v);
+    if (static_cast<int>(s.size()) < width) {
+      s.insert(0, static_cast<size_t>(width) - s.size(), '0');
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace ariesim

@@ -1,0 +1,44 @@
+#include "util/rwlatch.h"
+
+namespace ariesim {
+
+void RwLatch::LockShared() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !writer_ && waiting_writers_ == 0; });
+  ++readers_;
+}
+
+void RwLatch::LockExclusive() {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++waiting_writers_;
+  cv_.wait(lk, [&] { return !writer_ && readers_ == 0; });
+  --waiting_writers_;
+  writer_ = true;
+}
+
+bool RwLatch::TryLockShared() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (writer_ || waiting_writers_ > 0) return false;
+  ++readers_;
+  return true;
+}
+
+bool RwLatch::TryLockExclusive() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (writer_ || readers_ > 0) return false;
+  writer_ = true;
+  return true;
+}
+
+void RwLatch::UnlockShared() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (--readers_ == 0) cv_.notify_all();
+}
+
+void RwLatch::UnlockExclusive() {
+  std::unique_lock<std::mutex> lk(mu_);
+  writer_ = false;
+  cv_.notify_all();
+}
+
+}  // namespace ariesim

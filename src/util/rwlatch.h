@@ -1,0 +1,95 @@
+// Reader-writer latch with conditional (try) acquisition and instant-duration
+// support. Latches, per the paper (§1.2), protect *physical* consistency and
+// are held for microseconds; they are distinct from locks (LockManager),
+// which protect *logical* consistency and may be held to commit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ariesim {
+
+/// Latch modes.
+enum class LatchMode : uint8_t { kShared, kExclusive };
+
+/// A fair-ish S/X latch. Writers take priority once queued to avoid
+/// starvation during SMO propagation.
+class RwLatch {
+ public:
+  RwLatch() = default;
+  RwLatch(const RwLatch&) = delete;
+  RwLatch& operator=(const RwLatch&) = delete;
+
+  void LockShared();
+  void LockExclusive();
+  /// Conditional acquisition; returns false immediately if not grantable.
+  bool TryLockShared();
+  bool TryLockExclusive();
+  void UnlockShared();
+  void UnlockExclusive();
+
+  void Lock(LatchMode m) {
+    m == LatchMode::kShared ? LockShared() : LockExclusive();
+  }
+  bool TryLock(LatchMode m) {
+    return m == LatchMode::kShared ? TryLockShared() : TryLockExclusive();
+  }
+  void Unlock(LatchMode m) {
+    m == LatchMode::kShared ? UnlockShared() : UnlockExclusive();
+  }
+
+  /// Instant-duration acquisition: wait until the latch is grantable in the
+  /// given mode, then immediately release. Used for the "S latch tree for
+  /// instant duration" step (paper Figure 4): the caller only needs to wait
+  /// out in-progress exclusive holders (in-flight SMOs).
+  void LockInstant(LatchMode m) {
+    Lock(m);
+    Unlock(m);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;          // active shared holders
+  bool writer_ = false;      // active exclusive holder
+  int waiting_writers_ = 0;  // queued exclusive requests (priority)
+};
+
+/// RAII guard over an RwLatch.
+class LatchGuard {
+ public:
+  LatchGuard() = default;
+  LatchGuard(RwLatch* latch, LatchMode mode) : latch_(latch), mode_(mode) {
+    latch_->Lock(mode_);
+  }
+  ~LatchGuard() { Release(); }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+  LatchGuard(LatchGuard&& o) noexcept : latch_(o.latch_), mode_(o.mode_) {
+    o.latch_ = nullptr;
+  }
+  LatchGuard& operator=(LatchGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      latch_ = o.latch_;
+      mode_ = o.mode_;
+      o.latch_ = nullptr;
+    }
+    return *this;
+  }
+
+  void Release() {
+    if (latch_ != nullptr) {
+      latch_->Unlock(mode_);
+      latch_ = nullptr;
+    }
+  }
+  bool held() const { return latch_ != nullptr; }
+
+ private:
+  RwLatch* latch_ = nullptr;
+  LatchMode mode_ = LatchMode::kShared;
+};
+
+}  // namespace ariesim

@@ -1,0 +1,89 @@
+// Append-only log manager with an in-memory tail buffer.
+//
+// WAL contracts enforced here and by callers:
+//  - BufferPool forces FlushTo(page_LSN) before a dirty page is stolen.
+//  - TransactionManager forces FlushTo(commit_LSN) at commit.
+//  - A simulated crash discards the tail buffer; the file then ends exactly
+//    at the durable prefix, and restart recovery scans from the master
+//    record's checkpoint.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace ariesim {
+
+class LogManager {
+ public:
+  LogManager(std::string path, Metrics* metrics, bool fsync_on_flush = true,
+             size_t buffer_capacity = 1 << 20);
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Open (creating if absent) and position the append cursor after the
+  /// last valid durable record.
+  Status Open();
+  void Close();
+
+  /// Append `rec` (assigning rec->lsn) and return the assigned LSN.
+  Result<Lsn> Append(LogRecord* rec);
+
+  /// Make all records with lsn <= `lsn` durable.
+  Status FlushTo(Lsn lsn);
+  Status FlushAll();
+
+  /// Read the record whose LSN is `lsn` (from the tail buffer or the file).
+  Status ReadRecord(Lsn lsn, LogRecord* out);
+
+  /// Crash simulation: throw away the volatile tail.
+  void DiscardUnflushed();
+
+  Lsn next_lsn() const { return next_lsn_; }
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+  /// LSN of the most recently appended record (kNullLsn if none).
+  Lsn last_lsn() const { return last_lsn_; }
+
+  // -- master record (last checkpoint address) ---------------------------
+  Status WriteMaster(Lsn checkpoint_lsn);
+  Result<Lsn> ReadMaster();
+
+  /// Sequential scanner over the durable log, for recovery passes.
+  class Reader {
+   public:
+    Reader(LogManager* lm, Lsn start) : lm_(lm), pos_(start) {}
+    /// Returns NotFound at clean end-of-log (including a torn tail).
+    Status Next(LogRecord* out);
+    Lsn position() const { return pos_; }
+
+   private:
+    LogManager* lm_;
+    Lsn pos_;
+  };
+
+ private:
+  Status ReadFromFile(Lsn lsn, LogRecord* out);
+  /// Flush the whole tail; caller holds mu_.
+  Status FlushLocked();
+
+  std::string path_;
+  Metrics* metrics_;
+  bool fsync_on_flush_;
+  size_t buffer_capacity_;
+  int fd_ = -1;
+
+  std::mutex mu_;
+  std::string buffer_;     // unflushed tail: bytes [buffer_base_, next_lsn_)
+  Lsn buffer_base_ = 0;    // LSN of buffer_[0]
+  Lsn next_lsn_ = 0;
+  Lsn flushed_lsn_ = 0;    // all records with lsn < flushed end are durable
+  Lsn last_lsn_ = kNullLsn;
+};
+
+}  // namespace ariesim

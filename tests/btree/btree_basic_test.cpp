@@ -1,0 +1,226 @@
+// B-tree unit tests against a raw Database-provided tree: fetch semantics
+// (=, >=, >, EOF), insert/delete, many-key workloads that force splits and
+// page deletes, scans, and structural validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "db/database.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class BtreeBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("btree_basic");
+    auto db = Database::Open(dir_->path(), SmallPageOptions());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    table_ = db_->CreateTable("t", 1).value();
+    tree_ = db_->CreateIndex("t", "t_idx", 0, /*unique=*/false).value();
+  }
+
+  /// Insert a standalone key with a synthetic RID (bypassing the heap, as
+  /// index-level tests do not need records). RIDs must look like real data
+  /// pages, so use a high page id.
+  Rid SyntheticRid(uint64_t i) {
+    return Rid{static_cast<PageId>(1000 + i / 100),
+               static_cast<uint16_t>(i % 100)};
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_;
+  BTree* tree_;
+};
+
+TEST_F(BtreeBasicTest, EmptyTreeFetch) {
+  Transaction* txn = db_->Begin();
+  FetchResult r;
+  ASSERT_OK(tree_->Fetch(txn, "anything", FetchCond::kEq, &r));
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.eof);
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(BtreeBasicTest, InsertAndFetchConditions) {
+  Transaction* txn = db_->Begin();
+  ASSERT_OK(tree_->Insert(txn, "bbb", SyntheticRid(1)));
+  ASSERT_OK(tree_->Insert(txn, "ddd", SyntheticRid(2)));
+  ASSERT_OK(tree_->Insert(txn, "fff", SyntheticRid(3)));
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* q = db_->Begin();
+  FetchResult r;
+  ASSERT_OK(tree_->Fetch(q, "ddd", FetchCond::kEq, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "ddd");
+  EXPECT_EQ(r.rid, SyntheticRid(2));
+
+  ASSERT_OK(tree_->Fetch(q, "ccc", FetchCond::kEq, &r));
+  EXPECT_FALSE(r.found);  // next higher key is locked, not returned as found
+
+  ASSERT_OK(tree_->Fetch(q, "ccc", FetchCond::kGe, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "ddd");
+
+  ASSERT_OK(tree_->Fetch(q, "ddd", FetchCond::kGe, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "ddd");
+
+  ASSERT_OK(tree_->Fetch(q, "ddd", FetchCond::kGt, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "fff");
+
+  ASSERT_OK(tree_->Fetch(q, "fff", FetchCond::kGt, &r));
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.eof);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(BtreeBasicTest, DuplicateValuesDistinctRids) {
+  Transaction* txn = db_->Begin();
+  ASSERT_OK(tree_->Insert(txn, "dup", SyntheticRid(1)));
+  ASSERT_OK(tree_->Insert(txn, "dup", SyntheticRid(2)));
+  ASSERT_OK(tree_->Insert(txn, "dup", SyntheticRid(3)));
+  // The exact same (value, rid) is rejected.
+  EXPECT_TRUE(tree_->Insert(txn, "dup", SyntheticRid(2)).IsDuplicate());
+  ASSERT_OK(db_->Commit(txn));
+  size_t keys = 0;
+  ASSERT_OK(tree_->Validate(&keys));
+  EXPECT_EQ(keys, 3u);
+}
+
+TEST_F(BtreeBasicTest, ManyInsertsForceSplits) {
+  Random rnd(42);
+  std::set<std::string> keys;
+  Transaction* txn = db_->Begin();
+  for (uint64_t i = 0; i < 500; ++i) {
+    std::string k = rnd.Key(rnd.Uniform(1000000), 8);
+    if (!keys.insert(k).second) continue;
+    ASSERT_OK(tree_->Insert(txn, k, SyntheticRid(i)));
+  }
+  ASSERT_OK(db_->Commit(txn));
+  EXPECT_GT(db_->metrics().smo_splits.load(), 5u) << "expected leaf splits";
+
+  size_t count = 0;
+  ASSERT_OK(tree_->Validate(&count));
+  EXPECT_EQ(count, keys.size());
+
+  std::vector<std::pair<std::string, Rid>> all;
+  ASSERT_OK(tree_->CollectAll(&all));
+  ASSERT_EQ(all.size(), keys.size());
+  auto it = keys.begin();
+  for (size_t i = 0; i < all.size(); ++i, ++it) {
+    EXPECT_EQ(all[i].first, *it);
+  }
+}
+
+TEST_F(BtreeBasicTest, DeleteToEmptyForcesPageDeletes) {
+  Random rnd(7);
+  std::vector<std::pair<std::string, Rid>> keys;
+  Transaction* txn = db_->Begin();
+  for (uint64_t i = 0; i < 400; ++i) {
+    std::string k = rnd.Key(i, 8);
+    Rid r = SyntheticRid(i);
+    keys.emplace_back(k, r);
+    ASSERT_OK(tree_->Insert(txn, k, r));
+  }
+  ASSERT_OK(db_->Commit(txn));
+  ASSERT_OK(tree_->Validate(nullptr));
+
+  // Delete everything in random order: exercises boundary deletes, page
+  // deletes, root collapse.
+  std::shuffle(keys.begin(), keys.end(), std::mt19937(1234));
+  Transaction* del = db_->Begin();
+  for (auto& [k, r] : keys) {
+    Status s = tree_->Delete(del, k, r);
+    ASSERT_TRUE(s.ok()) << "delete " << k << ": " << s.ToString();
+  }
+  ASSERT_OK(db_->Commit(del));
+  EXPECT_GT(db_->metrics().smo_page_deletes.load(), 3u);
+
+  size_t count = 999;
+  ASSERT_OK(tree_->Validate(&count));
+  EXPECT_EQ(count, 0u);
+
+  // The tree remains usable after total emptiness.
+  Transaction* re = db_->Begin();
+  ASSERT_OK(tree_->Insert(re, "again", SyntheticRid(9)));
+  FetchResult fr;
+  ASSERT_OK(tree_->Fetch(re, "again", FetchCond::kEq, &fr));
+  EXPECT_TRUE(fr.found);
+  ASSERT_OK(db_->Commit(re));
+}
+
+TEST_F(BtreeBasicTest, ScanRange) {
+  Transaction* txn = db_->Begin();
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_OK(tree_->Insert(txn, Random(0).Key(i, 6), SyntheticRid(i)));
+  }
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(q, Random(0).Key(10, 6), FetchCond::kGe, &cur,
+                            &first));
+  ASSERT_OK(tree_->SetStop(&cur, Random(0).Key(20, 6), /*inclusive=*/true));
+  ASSERT_TRUE(first.found);
+  EXPECT_EQ(first.value, Random(0).Key(10, 6));
+  int n = 1;
+  while (true) {
+    FetchResult r;
+    ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+    if (!r.found) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 11);  // keys 10..20 inclusive
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(BtreeBasicTest, ScanSurvivesSplitsInBetween) {
+  Transaction* txn = db_->Begin();
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_OK(tree_->Insert(txn, Random(0).Key(i * 10, 6), SyntheticRid(i)));
+  }
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(q, Random(0).Key(0, 6), FetchCond::kGe, &cur, &first));
+  int seen = first.found ? 1 : 0;
+  // Interleave inserts from the same txn (cursor must reposition when the
+  // leaf LSN changes).
+  for (int round = 0; round < 20; ++round) {
+    FetchResult r;
+    ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+    if (!r.found) break;
+    ++seen;
+    ASSERT_OK(tree_->Insert(
+        q, Random(0).Key(1000 + static_cast<uint64_t>(round), 6),
+        SyntheticRid(100 + static_cast<uint64_t>(round))));
+  }
+  EXPECT_GT(seen, 10);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(BtreeBasicTest, KeyTooLongRejected) {
+  Transaction* txn = db_->Begin();
+  std::string huge(tree_->MaxValueLen() + 1, 'x');
+  EXPECT_EQ(tree_->Insert(txn, huge, SyntheticRid(1)).code(),
+            Code::kInvalidArgument);
+  ASSERT_OK(db_->Commit(txn));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,223 @@
+// Fetch Next / cursor tests (paper §2.3): in-place advancement on an
+// unchanged leaf, repositioning after the leaf changes (same-transaction
+// deletes, splits by other transactions), stopping conditions, page-boundary
+// crossings, and the unique-index "stop at =" shortcut behavior.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class CursorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("cursor");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    db_->CreateTable("t", 1).value();
+    tree_ = db_->CreateIndex("t", "ix", 0, /*unique=*/false).value();
+  }
+  Rid R(uint64_t i) {
+    return Rid{static_cast<PageId>(9500 + i / 50), static_cast<uint16_t>(i % 50)};
+  }
+  void Preload(uint64_t n) {
+    Transaction* txn = db_->Begin();
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_OK(tree_->Insert(txn, Random(0).Key(i, 6), R(i)));
+    }
+    ASSERT_OK(db_->Commit(txn));
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  BTree* tree_;
+};
+
+TEST_F(CursorTest, FullScanCrossesManyPages) {
+  Preload(300);  // several leaves at 512B pages
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(q, "", FetchCond::kGe, &cur, &first));
+  ASSERT_TRUE(first.found);
+  uint64_t n = 1;
+  std::string prev = first.value;
+  while (true) {
+    FetchResult r;
+    ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+    if (!r.found) break;
+    EXPECT_LT(prev, r.value);
+    prev = r.value;
+    ++n;
+  }
+  EXPECT_EQ(n, 300u);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(CursorTest, StopExclusiveVsInclusive) {
+  Preload(20);
+  for (bool inclusive : {true, false}) {
+    Transaction* q = db_->Begin();
+    ScanCursor cur;
+    FetchResult first;
+    ASSERT_OK(tree_->OpenScan(q, Random(0).Key(5, 6), FetchCond::kGe, &cur,
+                              &first));
+    ASSERT_OK(tree_->SetStop(&cur, Random(0).Key(10, 6), inclusive));
+    int n = 1;  // the opening key (5)
+    while (true) {
+      FetchResult r;
+      ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+      if (!r.found) break;
+      ++n;
+    }
+    EXPECT_EQ(n, inclusive ? 6 : 5);  // keys 5..10 or 5..9
+    ASSERT_OK(db_->Commit(q));
+  }
+}
+
+TEST_F(CursorTest, RepositionsAfterOwnDelete) {
+  // Paper §2.3: "The current key may not be in the index anymore due to a
+  // key deletion earlier by the same transaction."
+  Preload(10);
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(q, Random(0).Key(3, 6), FetchCond::kGe, &cur, &first));
+  ASSERT_EQ(first.value, Random(0).Key(3, 6));
+  // Delete the current key within the same transaction.
+  ASSERT_OK(tree_->Delete(q, Random(0).Key(3, 6), R(3)));
+  FetchResult next;
+  ASSERT_OK(tree_->FetchNext(q, &cur, &next));
+  ASSERT_TRUE(next.found);
+  EXPECT_EQ(next.value, Random(0).Key(4, 6))
+      << "cursor must reposition to the key after the deleted position";
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(CursorTest, SurvivesConcurrentSplitBetweenSteps) {
+  Preload(30);
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(q, "", FetchCond::kGe, &cur, &first));
+  int seen = first.found ? 1 : 0;
+  // Interleave: another transaction splits the scanned region.
+  for (int step = 0; step < 29; ++step) {
+    if (step == 5) {
+      Transaction* w = db_->Begin();
+      for (uint64_t i = 0; i < 200; ++i) {
+        // All above the scan range (sort after 6-digit zero-padded keys).
+        ASSERT_OK(tree_->Insert(w, "z" + Random(0).Key(i, 6), R(1000 + i)));
+      }
+      ASSERT_OK(db_->Commit(w));
+    }
+    FetchResult r;
+    ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+    if (!r.found) break;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 30);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(CursorTest, EmptyRangeAndEof) {
+  Preload(5);
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  // Start past every key.
+  ASSERT_OK(tree_->OpenScan(q, "zzzz", FetchCond::kGe, &cur, &first));
+  EXPECT_TRUE(first.eof);
+  FetchResult r;
+  ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+  EXPECT_TRUE(r.eof);
+  EXPECT_FALSE(r.found);
+  // Repeated FetchNext at EOF stays at EOF.
+  ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+  EXPECT_TRUE(r.eof);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(CursorTest, UnopenedCursorRejected) {
+  ScanCursor cur;
+  FetchResult r;
+  Transaction* q = db_->Begin();
+  EXPECT_EQ(tree_->FetchNext(q, &cur, &r).code(), Code::kInvalidArgument);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(CursorTest, UniqueEqualsStopShortcutTakesNoLocks) {
+  // §2.3: on a unique index with stopping condition '=', a cursor already
+  // positioned at the stop key answers Fetch Next immediately — without
+  // locking (or even latching) anything.
+  TempDir dir2("cursor_uq");
+  auto db2 = std::move(Database::Open(dir2.path(), SmallPageOptions())).value();
+  db2->CreateTable("t", 1).value();
+  BTree* utree = db2->CreateIndex("t", "upk", 0, /*unique=*/true).value();
+  Transaction* setup = db2->Begin();
+  ASSERT_OK(utree->Insert(setup, "k1", R(1)));
+  ASSERT_OK(utree->Insert(setup, "k2", R(2)));
+  ASSERT_OK(db2->Commit(setup));
+
+  Transaction* q = db2->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(utree->OpenScan(q, "k1", FetchCond::kEq, &cur, &first));
+  ASSERT_TRUE(first.found);
+  ASSERT_OK(utree->SetStop(&cur, "k1", /*inclusive=*/true));
+
+  uint64_t locks_before = db2->metrics().lock_requests.load();
+  uint64_t latches_before = db2->metrics().page_latch_acquisitions.load();
+  FetchResult r;
+  ASSERT_OK(utree->FetchNext(q, &cur, &r));
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(db2->metrics().lock_requests.load(), locks_before)
+      << "the = stop shortcut must not touch the lock manager";
+  EXPECT_EQ(db2->metrics().page_latch_acquisitions.load(), latches_before)
+      << "nor any page";
+  ASSERT_OK(db2->Commit(q));
+}
+
+TEST_F(CursorTest, GtStartSkipsEqualKey) {
+  Preload(10);
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(
+      tree_->OpenScan(q, Random(0).Key(4, 6), FetchCond::kGt, &cur, &first));
+  ASSERT_TRUE(first.found);
+  EXPECT_EQ(first.value, Random(0).Key(5, 6));
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(CursorTest, DuplicateValuesScanYieldsEveryRid) {
+  Transaction* setup = db_->Begin();
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_OK(tree_->Insert(setup, "dup", R(i)));
+  }
+  ASSERT_OK(db_->Commit(setup));
+  Transaction* q = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(q, "dup", FetchCond::kGe, &cur, &first));
+  ASSERT_OK(tree_->SetStop(&cur, "dup", true));
+  std::set<Rid> rids;
+  ASSERT_TRUE(first.found);
+  rids.insert(first.rid);
+  while (true) {
+    FetchResult r;
+    ASSERT_OK(tree_->FetchNext(q, &cur, &r));
+    if (!r.found) break;
+    rids.insert(r.rid);
+  }
+  EXPECT_EQ(rids.size(), 8u);
+  ASSERT_OK(db_->Commit(q));
+}
+
+}  // namespace
+}  // namespace ariesim

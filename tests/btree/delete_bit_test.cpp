@@ -1,0 +1,184 @@
+// Figure 11 / Delete_Bit scenario (§3):
+//
+//   T1 deletes a key on leaf P6 (uncommitted). T2 wants to insert into P6,
+//   consuming the freed space. Before consuming, T2 must establish a point
+//   of structural consistency (instant S tree latch) because a later crash
+//   could force T1's undo to retraverse the tree — which must then be
+//   structurally consistent. The Delete_Bit on P6 is what tells T2 to take
+//   that precaution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class DeleteBitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("delbit");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    db_->CreateTable("t", 1).value();
+    tree_ = db_->CreateIndex("t", "ix", 0, false).value();
+  }
+  Rid R(uint64_t i) {
+    return Rid{static_cast<PageId>(6000 + i), static_cast<uint16_t>(i % 30)};
+  }
+  PageId LeafOf(const std::string& value) {
+    for (PageId pid = 0; pid < 300; ++pid) {
+      auto g = db_->pool()->FetchPage(pid, LatchMode::kShared);
+      if (!g.ok()) continue;
+      PageView v = g.value().view();
+      if (v.type() != PageType::kBtreeLeaf || v.owner_id() != tree_->index_id()) {
+        continue;
+      }
+      for (uint16_t i = 0; i < v.slot_count(); ++i) {
+        if (bt::DecodeLeafCell(v.Cell(i)).value == value) return pid;
+      }
+    }
+    return kInvalidPageId;
+  }
+  bool LeafDeleteBit(PageId pid) {
+    auto g = db_->pool()->FetchPage(pid, LatchMode::kShared);
+    return g.ok() && g.value().view().delete_bit();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  BTree* tree_;
+};
+
+TEST_F(DeleteBitTest, DeleteSetsTheBit) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "aa", R(1)));
+  ASSERT_OK(tree_->Insert(setup, "bb", R(2)));
+  ASSERT_OK(tree_->Insert(setup, "cc", R(3)));
+  ASSERT_OK(db_->Commit(setup));
+  PageId leaf = LeafOf("bb");
+  EXPECT_FALSE(LeafDeleteBit(leaf));
+
+  Transaction* t = db_->Begin();
+  ASSERT_OK(tree_->Delete(t, "bb", R(2)));
+  ASSERT_OK(db_->Commit(t));
+  EXPECT_TRUE(LeafDeleteBit(leaf)) << "Figure 7: delete sets the Delete_Bit";
+}
+
+TEST_F(DeleteBitTest, InsertClearsBitAfterPosc) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "aa", R(4)));
+  ASSERT_OK(tree_->Insert(setup, "bb", R(5)));
+  ASSERT_OK(db_->Commit(setup));
+  Transaction* del = db_->Begin();
+  ASSERT_OK(tree_->Delete(del, "bb", R(5)));
+  ASSERT_OK(db_->Commit(del));
+  PageId leaf = LeafOf("aa");
+  ASSERT_TRUE(LeafDeleteBit(leaf));
+
+  // No SMO in progress: the insert's conditional instant tree latch
+  // succeeds immediately (a POSC exists) and the bit is cleared.
+  Transaction* ins = db_->Begin();
+  ASSERT_OK(tree_->Insert(ins, "ab", R(6)));
+  ASSERT_OK(db_->Commit(ins));
+  EXPECT_FALSE(LeafDeleteBit(leaf)) << "Figure 6: insert resets the bit";
+}
+
+TEST_F(DeleteBitTest, InsertIntoDeleteBitPageWaitsForSmo) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "aa", R(7)));
+  ASSERT_OK(tree_->Insert(setup, "bb", R(8)));
+  ASSERT_OK(db_->Commit(setup));
+  Transaction* del = db_->Begin();
+  ASSERT_OK(tree_->Delete(del, "bb", R(8)));
+  ASSERT_OK(db_->Commit(del));
+  PageId leaf = LeafOf("aa");
+  ASSERT_TRUE(LeafDeleteBit(leaf));
+
+  // Simulate an SMO elsewhere in the tree: hold the tree latch X. T2's
+  // space-consuming insert must wait (the Figure 11 precaution) even though
+  // the leaf itself is not part of the SMO.
+  tree_->tree_latch()->LockExclusive();
+  Transaction* ins = db_->Begin();
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    EXPECT_TRUE(tree_->Insert(ins, "ab", R(9)).ok());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(done.load())
+      << "insert consuming freed space must wait out the ongoing SMO";
+  tree_->tree_latch()->UnlockExclusive();
+  t.join();
+  ASSERT_OK(db_->Commit(ins));
+  EXPECT_FALSE(LeafDeleteBit(leaf));
+}
+
+TEST_F(DeleteBitTest, Figure11CrashScenario) {
+  // Full Figure 11 reproduction:
+  //  - committed filler keys pack leaf P6 nearly full;
+  //  - T1 deletes a key on P6 (does not commit);
+  //  - T2 inserts keys consuming the freed space, commits;
+  //  - crash (log flushed, pages partially flushed);
+  //  - restart: T1 is a loser; undoing its delete must re-insert the key,
+  //    which no longer fits page-oriented → logical undo with a split at
+  //    restart. The tree must come back structurally consistent with T2's
+  //    committed keys present and T1's key restored.
+  std::string fat(22, 'q');
+  Transaction* setup = db_->Begin();
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_OK(tree_->Insert(setup, "p6-" + std::to_string(i) + fat, R(i)));
+  }
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* t1 = db_->Begin();
+  for (uint64_t i = 3; i < 6; ++i) {
+    ASSERT_OK(tree_->Delete(t1, "p6-" + std::to_string(i) + fat, R(i)));
+  }
+
+  // T2 consumes the freed space. Its keys sort right after p6-0, so their
+  // next key (p6-1) is not covered by T1's next-key locks (which protect
+  // p6-4..p6-6) — T2 runs to commit, exactly as in Figure 11.
+  Transaction* t2 = db_->Begin();
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_OK(tree_->Insert(t2, "p6-0a" + std::to_string(i) + fat, R(40 + i)));
+  }
+  ASSERT_OK(db_->Commit(t2));
+
+  // Crash with everything logged and data pages flushed (steal policy).
+  ASSERT_OK(db_->wal()->FlushAll());
+  ASSERT_OK(db_->FlushAllPages());
+  db_->SimulateCrash();
+
+  db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+  tree_ = db_->GetIndex("ix");
+  ASSERT_NE(tree_, nullptr);
+  EXPECT_GE(db_->restart_stats().loser_txns, 1u);
+
+  Transaction* check = db_->Begin();
+  for (uint64_t i = 0; i < 10; ++i) {
+    FetchResult r;
+    ASSERT_OK(tree_->Fetch(check, "p6-" + std::to_string(i) + fat,
+                           FetchCond::kEq, &r));
+    EXPECT_TRUE(r.found) << "T1's deleted key " << i
+                         << " not restored by restart undo";
+  }
+  for (uint64_t i = 0; i < 3; ++i) {
+    FetchResult r;
+    ASSERT_OK(
+        tree_->Fetch(check, "p6-0a" + std::to_string(i) + fat, FetchCond::kEq, &r));
+    EXPECT_TRUE(r.found) << "T2's committed key " << i << " lost";
+  }
+  ASSERT_OK(db_->Commit(check));
+  size_t keys = 0;
+  ASSERT_OK(tree_->Validate(&keys));
+  EXPECT_EQ(keys, 13u);
+}
+
+}  // namespace
+}  // namespace ariesim

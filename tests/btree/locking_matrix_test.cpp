@@ -1,0 +1,399 @@
+// Reproduces the paper's Figure 2 locking matrix:
+//
+//                    | NEXT KEY                | CURRENT KEY
+//  FETCH/FETCH NEXT  |                         | S commit
+//  INSERT            | X instant               | X commit (index-specific)
+//  DELETE            | X commit                | X instant (index-specific)
+//
+// and the data-only vs index-specific vs KVL differences of §2.1/§1. The
+// instrumented lock manager records every request; each operation's exact
+// (space, mode, duration) sequence is asserted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+struct Ev {
+  LockSpace space;
+  LockMode mode;
+  LockDuration duration;
+};
+
+class LockingMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("matrix");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    db_->CreateTable("t", 1).value();
+    data_only_ = db_->CreateIndexWithProtocol("t", "ix_do", 0, false,
+                                              LockingProtocolKind::kDataOnly)
+                     .value();
+    index_spec_ = db_->CreateIndexWithProtocol("t", "ix_is", 0, false,
+                                               LockingProtocolKind::kIndexSpecific)
+                      .value();
+    kvl_ = db_->CreateIndexWithProtocol("t", "ix_kvl", 0, false,
+                                        LockingProtocolKind::kKeyValue)
+               .value();
+    unique_do_ = db_->CreateIndexWithProtocol("t", "ix_udo", 0, true,
+                                              LockingProtocolKind::kDataOnly)
+                     .value();
+  }
+
+  /// Run `body` in its own transaction, recording its lock events.
+  std::vector<Ev> Record(const std::function<void(Transaction*)>& body) {
+    Transaction* txn = db_->Begin();
+    std::vector<Ev> events;
+    db_->locks()->SetObserver([&](const LockEvent& e) {
+      if (e.txn == txn->id()) {
+        events.push_back(Ev{e.name.space, e.mode, e.duration});
+      }
+    });
+    body(txn);
+    db_->locks()->SetObserver(nullptr);
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return events;
+  }
+
+  static void ExpectEv(const Ev& e, LockSpace space, LockMode mode,
+                       LockDuration dur, const char* what) {
+    EXPECT_EQ(static_cast<int>(e.space), static_cast<int>(space)) << what;
+    EXPECT_EQ(static_cast<int>(e.mode), static_cast<int>(mode)) << what;
+    EXPECT_EQ(static_cast<int>(e.duration), static_cast<int>(dur)) << what;
+  }
+
+  Rid R(uint64_t i) {
+    return Rid{static_cast<PageId>(2000 + i), static_cast<uint16_t>(i % 50)};
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  BTree* data_only_;
+  BTree* index_spec_;
+  BTree* kvl_;
+  BTree* unique_do_;
+};
+
+// ---------------------------------------------------------------------------
+// Data-only locking (ARIES/IM default)
+// ---------------------------------------------------------------------------
+
+TEST_F(LockingMatrixTest, DataOnlyFetchFound) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(data_only_->Insert(setup, "kkk", R(1)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    FetchResult r;
+    ASSERT_OK(data_only_->Fetch(txn, "kkk", FetchCond::kEq, &r));
+    ASSERT_TRUE(r.found);
+  });
+  // Figure 2 row 1: current key S commit — and under data-only locking the
+  // key lock IS the record lock.
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kRecord, LockMode::kS, LockDuration::kCommit,
+           "fetch current-key lock");
+}
+
+TEST_F(LockingMatrixTest, DataOnlyFetchNotFoundLocksNextKey) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(data_only_->Insert(setup, "mmm", R(2)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    FetchResult r;
+    ASSERT_OK(data_only_->Fetch(txn, "kkk", FetchCond::kEq, &r));
+    ASSERT_FALSE(r.found);  // "mmm" is the next higher key
+  });
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kRecord, LockMode::kS, LockDuration::kCommit,
+           "not-found locks the next key (phantom protection, §2.2)");
+}
+
+TEST_F(LockingMatrixTest, DataOnlyFetchEofUsesIndexEofName) {
+  auto evs = Record([&](Transaction* txn) {
+    FetchResult r;
+    ASSERT_OK(data_only_->Fetch(txn, "zzz", FetchCond::kGe, &r));
+    ASSERT_TRUE(r.eof);
+  });
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kIndexEof, LockMode::kS, LockDuration::kCommit,
+           "EOF fetch locks the per-index EOF name (§2.2)");
+}
+
+TEST_F(LockingMatrixTest, DataOnlyInsertNextKeyInstantX) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(data_only_->Insert(setup, "nnn", R(3)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(data_only_->Insert(txn, "aaa", R(4)));
+  });
+  // Figure 2 row 2: next key X instant; current key needs NO index lock
+  // under data-only locking (the record manager's record lock covers it).
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kRecord, LockMode::kX, LockDuration::kInstant,
+           "insert next-key lock");
+}
+
+TEST_F(LockingMatrixTest, DataOnlyInsertAtEnd) {
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(data_only_->Insert(txn, "solo", R(5)));
+  });
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kIndexEof, LockMode::kX, LockDuration::kInstant,
+           "insert at end locks EOF instant X");
+}
+
+TEST_F(LockingMatrixTest, DataOnlyDeleteNextKeyCommitX) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(data_only_->Insert(setup, "ppp", R(6)));
+  ASSERT_OK(data_only_->Insert(setup, "qqq", R(7)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(data_only_->Delete(txn, "ppp", R(6)));
+  });
+  // Figure 2 row 3: next key X COMMIT duration (the deleter leaves a trace
+  // other transactions trip on, §2.6); no current-key index lock.
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kRecord, LockMode::kX, LockDuration::kCommit,
+           "delete next-key lock");
+}
+
+TEST_F(LockingMatrixTest, FetchNextLocksEachNextKeyCommitS) {
+  // Figure 2 row 1 covers Fetch Next too: each step locks the located next
+  // key S for commit duration.
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(data_only_->Insert(setup, "s1", R(60)));
+  ASSERT_OK(data_only_->Insert(setup, "s2", R(61)));
+  ASSERT_OK(data_only_->Insert(setup, "s3", R(62)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ScanCursor cur;
+    FetchResult first;
+    ASSERT_OK(data_only_->OpenScan(txn, "s1", FetchCond::kGe, &cur, &first));
+    FetchResult r;
+    ASSERT_OK(data_only_->FetchNext(txn, &cur, &r));
+    ASSERT_TRUE(r.found);
+    ASSERT_OK(data_only_->FetchNext(txn, &cur, &r));
+    ASSERT_TRUE(r.found);
+    ASSERT_OK(data_only_->FetchNext(txn, &cur, &r));
+    ASSERT_TRUE(r.eof);
+  });
+  // Open locks s1; each FetchNext locks s2, s3, then the EOF name.
+  ASSERT_EQ(evs.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    ExpectEv(evs[i], LockSpace::kRecord, LockMode::kS, LockDuration::kCommit,
+             "scan step current-key lock");
+  }
+  ExpectEv(evs[3], LockSpace::kIndexEof, LockMode::kS, LockDuration::kCommit,
+           "scan end locks the EOF name");
+}
+
+// ---------------------------------------------------------------------------
+// Index-specific locking (§2.1 variant)
+// ---------------------------------------------------------------------------
+
+TEST_F(LockingMatrixTest, IndexSpecificFetch) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(index_spec_->Insert(setup, "kkk", R(10)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    FetchResult r;
+    ASSERT_OK(index_spec_->Fetch(txn, "kkk", FetchCond::kEq, &r));
+  });
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kKey, LockMode::kS, LockDuration::kCommit,
+           "index-specific fetch locks the (index,value,RID) key");
+}
+
+TEST_F(LockingMatrixTest, IndexSpecificInsertLocksCurrentToo) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(index_spec_->Insert(setup, "nnn", R(11)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(index_spec_->Insert(txn, "bbb", R(12)));
+  });
+  ASSERT_EQ(evs.size(), 2u);
+  ExpectEv(evs[0], LockSpace::kKey, LockMode::kX, LockDuration::kInstant,
+           "insert next-key instant X");
+  ExpectEv(evs[1], LockSpace::kKey, LockMode::kX, LockDuration::kCommit,
+           "insert current-key commit X (Figure 2)");
+}
+
+TEST_F(LockingMatrixTest, IndexSpecificDeleteLocksCurrentInstant) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(index_spec_->Insert(setup, "ppp", R(13)));
+  ASSERT_OK(index_spec_->Insert(setup, "qqq", R(14)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(index_spec_->Delete(txn, "ppp", R(13)));
+  });
+  ASSERT_EQ(evs.size(), 2u);
+  ExpectEv(evs[0], LockSpace::kKey, LockMode::kX, LockDuration::kCommit,
+           "delete next-key commit X");
+  ExpectEv(evs[1], LockSpace::kKey, LockMode::kX, LockDuration::kInstant,
+           "delete current-key instant X (Figure 2)");
+}
+
+// ---------------------------------------------------------------------------
+// ARIES/KVL baseline — coarser names, more locks (§1)
+// ---------------------------------------------------------------------------
+
+TEST_F(LockingMatrixTest, KvlFetchLocksKeyValue) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(kvl_->Insert(setup, "kkk", R(20)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    FetchResult r;
+    ASSERT_OK(kvl_->Fetch(txn, "kkk", FetchCond::kEq, &r));
+  });
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kKeyValue, LockMode::kS, LockDuration::kCommit,
+           "KVL fetch locks the key VALUE, not the individual key");
+}
+
+TEST_F(LockingMatrixTest, KvlInsertTakesTwoLocks) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(kvl_->Insert(setup, "nnn", R(21)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(kvl_->Insert(txn, "bbb", R(22)));
+  });
+  ASSERT_EQ(evs.size(), 2u);
+  ExpectEv(evs[0], LockSpace::kKeyValue, LockMode::kX, LockDuration::kInstant,
+           "KVL insert next-value instant X");
+  ExpectEv(evs[1], LockSpace::kKeyValue, LockMode::kIX, LockDuration::kCommit,
+           "KVL insert own-value commit IX");
+}
+
+TEST_F(LockingMatrixTest, KvlDuplicateValueInsertSkipsNextLock) {
+  // The pre-existing duplicate must sort AFTER the new key so it is the new
+  // key's next key (keys are (value, RID) pairs).
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(kvl_->Insert(setup, "dup", R(24)));
+  ASSERT_OK(db_->Commit(setup));
+
+  auto evs = Record([&](Transaction* txn) {
+    ASSERT_OK(kvl_->Insert(txn, "dup", R(23)));
+  });
+  // Next key carries the same value: the next-key-value lock collapses into
+  // the own-value IX (the ARIES/KVL optimization).
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kKeyValue, LockMode::kIX, LockDuration::kCommit,
+           "KVL duplicate insert: own-value IX only");
+}
+
+TEST_F(LockingMatrixTest, KvlCoarserThanDataOnlyOnNonuniqueValues) {
+  // Two keys sharing a value: under KVL one lock name covers both; under
+  // data-only locking each RID has its own name. This is the §1 concurrency
+  // criticism made concrete.
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(kvl_->Insert(setup, "v", R(30)));
+  ASSERT_OK(kvl_->Insert(setup, "v", R(31)));
+  ASSERT_OK(data_only_->Insert(setup, "v", R(30)));
+  ASSERT_OK(data_only_->Insert(setup, "v", R(31)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* t1 = db_->Begin();
+  Transaction* t2 = db_->Begin();
+  FetchResult r;
+  // Data-only: T1 locks R(30)'s record; T2 can X-lock R(31)'s record.
+  ASSERT_OK(data_only_->Fetch(t1, "v", FetchCond::kEq, &r));
+  Status s = db_->locks()->Lock(t2->id(),
+                                LockName::Record(data_only_->table_id(), R(31)),
+                                LockMode::kX, LockDuration::kCommit, true);
+  EXPECT_TRUE(s.ok()) << "data-only: sibling RID not blocked";
+  // KVL: T1's S on value "v" blocks a deleter of the *sibling* RID, because
+  // the delete needs commit IX on the shared value name (S vs IX conflict).
+  ASSERT_OK(kvl_->Fetch(t1, "v", FetchCond::kEq, &r));
+  std::atomic<bool> kvl_done{false};
+  Transaction* t3 = db_->Begin();
+  std::thread blocked([&] {
+    Status del = kvl_->Delete(t3, "v", R(31));
+    EXPECT_TRUE(del.ok()) << del.ToString();
+    kvl_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(kvl_done.load())
+      << "KVL value lock must block the sibling-RID delete";
+  ASSERT_OK(db_->Commit(t1));
+  blocked.join();
+  EXPECT_TRUE(kvl_done.load());
+  ASSERT_OK(db_->Commit(t2));
+  ASSERT_OK(db_->Commit(t3));
+}
+
+// ---------------------------------------------------------------------------
+// Lock-count comparison (the "minimal number of locks" claim)
+// ---------------------------------------------------------------------------
+
+TEST_F(LockingMatrixTest, DataOnlyAcquiresFewestLocks) {
+  auto count_ops = [&](BTree* tree, uint64_t base) {
+    size_t n = 0;
+    Transaction* txn = db_->Begin();
+    db_->locks()->SetObserver([&](const LockEvent& e) {
+      if (e.txn == txn->id()) ++n;
+    });
+    for (uint64_t i = 0; i < 20; ++i) {
+      EXPECT_TRUE(tree->Insert(txn, "k" + std::to_string(base + i), R(base + i))
+                      .ok());
+    }
+    for (uint64_t i = 0; i < 20; ++i) {
+      FetchResult r;
+      EXPECT_TRUE(
+          tree->Fetch(txn, "k" + std::to_string(base + i), FetchCond::kEq, &r)
+              .ok());
+    }
+    db_->locks()->SetObserver(nullptr);
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return n;
+  };
+  size_t n_do = count_ops(data_only_, 100);
+  size_t n_is = count_ops(index_spec_, 200);
+  size_t n_kvl = count_ops(kvl_, 300);
+  EXPECT_LT(n_do, n_is) << "data-only must take fewer locks than index-specific";
+  EXPECT_LT(n_do, n_kvl) << "data-only must take fewer locks than KVL";
+}
+
+// ---------------------------------------------------------------------------
+// Unique-index insert S-locks the existing key (§2.4)
+// ---------------------------------------------------------------------------
+
+TEST_F(LockingMatrixTest, UniqueViolationLocksExistingKeyCommitS) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(unique_do_->Insert(setup, "u", R(40)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* txn = db_->Begin();
+  std::vector<Ev> evs;
+  db_->locks()->SetObserver([&](const LockEvent& e) {
+    if (e.txn == txn->id()) evs.push_back(Ev{e.name.space, e.mode, e.duration});
+  });
+  EXPECT_TRUE(unique_do_->Insert(txn, "u", R(41)).IsDuplicate());
+  db_->locks()->SetObserver(nullptr);
+  ASSERT_EQ(evs.size(), 1u);
+  ExpectEv(evs[0], LockSpace::kRecord, LockMode::kS, LockDuration::kCommit,
+           "unique check S-locks the found key for commit duration so the "
+           "error is repeatable (§2.4)");
+  ASSERT_OK(db_->Commit(txn));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,278 @@
+// Node-level unit and property tests: cell codecs, search primitives, and
+// the apply/inverse property — every structural btree op, applied and then
+// compensated with the inverse CLR the undo path would build, restores the
+// page to byte-equivalent state (modulo flags the inverse intentionally
+// clears). This is the foundation the page-oriented undo of incomplete
+// SMOs rests on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "btree/node.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace {
+
+constexpr size_t kPage = 512;
+
+std::string LeafCell(uint64_t i) {
+  return bt::EncodeLeafCell(Random(0).Key(i, 6),
+                            Rid{static_cast<PageId>(100 + i), 1});
+}
+
+struct PageFixture {
+  std::string buf = std::string(kPage, '\0');
+  PageView v{buf.data(), kPage};
+  void InitLeaf(int ncells) {
+    v.Init(7, PageType::kBtreeLeaf, 3, 0);
+    for (int i = 0; i < ncells; ++i) {
+      ASSERT_TRUE(v.InsertCellAt(static_cast<uint16_t>(i),
+                                 LeafCell(static_cast<uint64_t>(i * 10)))
+                      .ok());
+    }
+  }
+  void InitInternal(int nchildren) {
+    v.Init(7, PageType::kBtreeInternal, 3, 1);
+    for (int i = 0; i < nchildren - 1; ++i) {
+      ASSERT_TRUE(
+          v.InsertCellAt(
+               static_cast<uint16_t>(i),
+               bt::EncodeInternalCell(false, Random(0).Key(
+                                                 static_cast<uint64_t>(i * 10), 6),
+                                      Rid{1, 0}, static_cast<PageId>(50 + i)))
+              .ok());
+    }
+    ASSERT_TRUE(v.InsertCellAt(static_cast<uint16_t>(nchildren - 1),
+                               bt::EncodeInternalCell(true, "", Rid{},
+                                                      static_cast<PageId>(99)))
+                    .ok());
+  }
+  /// Canonical content snapshot: (header-sans-flags/lsn, ordered cells).
+  std::string Snapshot() const {
+    std::string s;
+    s += std::to_string(static_cast<int>(v.type())) + "/" +
+         std::to_string(v.level()) + "/" + std::to_string(v.next_page()) + "/" +
+         std::to_string(v.prev_page()) + ":";
+    for (uint16_t i = 0; i < v.slot_count(); ++i) {
+      s.append(v.Cell(i));
+      s += "|";
+    }
+    return s;
+  }
+};
+
+TEST(NodeCodecTest, LeafCellRoundTrip) {
+  Rid rid{12345, 67};
+  std::string cell = bt::EncodeLeafCell("hello-key", rid);
+  bt::LeafEntry e = bt::DecodeLeafCell(cell);
+  EXPECT_EQ(e.value, "hello-key");
+  EXPECT_EQ(e.rid, rid);
+}
+
+TEST(NodeCodecTest, InternalCellRoundTripFiniteAndInf) {
+  std::string finite = bt::EncodeInternalCell(false, "sep", Rid{9, 2}, 42);
+  bt::InternalEntry e = bt::DecodeInternalCell(finite);
+  EXPECT_FALSE(e.inf);
+  EXPECT_EQ(e.value, "sep");
+  EXPECT_EQ(e.child, 42u);
+  std::string inf = bt::EncodeInternalCell(true, "", Rid{}, 43);
+  bt::InternalEntry ei = bt::DecodeInternalCell(inf);
+  EXPECT_TRUE(ei.inf);
+  EXPECT_EQ(ei.child, 43u);
+}
+
+TEST(NodeCodecTest, CompareKeyOrdersByValueThenRid) {
+  EXPECT_LT(bt::CompareKey("a", Rid{1, 1}, "b", Rid{0, 0}), 0);
+  EXPECT_GT(bt::CompareKey("b", Rid{0, 0}, "a", Rid{9, 9}), 0);
+  EXPECT_LT(bt::CompareKey("a", Rid{1, 1}, "a", Rid{1, 2}), 0);
+  EXPECT_LT(bt::CompareKey("a", Rid{1, 1}, "a", Rid{2, 0}), 0);
+  EXPECT_EQ(bt::CompareKey("a", Rid{1, 1}, "a", Rid{1, 1}), 0);
+  EXPECT_LT(bt::CompareKey("ab", Rid{1, 1}, "abc", Rid{0, 0}), 0)
+      << "prefix sorts first";
+}
+
+TEST(NodeSearchTest, LeafLowerBound) {
+  PageFixture f;
+  f.InitLeaf(10);  // keys 0,10,20,...,90
+  bool exact = false;
+  EXPECT_EQ(bt::LeafLowerBound(f.v, Random(0).Key(30, 6),
+                               Rid{130, 1}, &exact),
+            3);
+  EXPECT_TRUE(exact);
+  EXPECT_EQ(bt::LeafLowerBound(f.v, Random(0).Key(35, 6), Rid{0, 0}, &exact), 4);
+  EXPECT_FALSE(exact);
+  EXPECT_EQ(bt::LeafLowerBound(f.v, Random(0).Key(95, 6), Rid{0, 0}, &exact), 10);
+  EXPECT_EQ(bt::LeafLowerBound(f.v, "", Rid{0, 0}, &exact), 0);
+}
+
+TEST(NodeSearchTest, InternalChildIndexAndHighest) {
+  PageFixture f;
+  f.InitInternal(5);  // separators 0,10,20,30 then INF
+  // Key below the first separator routes to child 0.
+  EXPECT_EQ(bt::InternalChildIndex(f.v, "", Rid{0, 0}), 0);
+  // Key equal to a separator routes PAST it (separator > key required).
+  EXPECT_EQ(bt::InternalChildIndex(f.v, Random(0).Key(10, 6), Rid{1, 0}), 2);
+  // Beyond every finite separator: the inf entry.
+  EXPECT_EQ(bt::InternalChildIndex(f.v, Random(0).Key(99, 6), Rid{0, 0}), 4);
+  // KeyWithinHighest: the Figure 4 test against the highest *finite* key.
+  EXPECT_TRUE(bt::KeyWithinHighest(f.v, Random(0).Key(25, 6), Rid{0, 0}));
+  EXPECT_FALSE(bt::KeyWithinHighest(f.v, Random(0).Key(31, 6), Rid{0, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Apply/inverse property tests
+// ---------------------------------------------------------------------------
+
+TEST(NodeApplyInverseTest, InsertThenDeleteRestores) {
+  PageFixture f;
+  f.InitLeaf(6);
+  std::string before = f.Snapshot();
+  std::string key = Random(0).Key(35, 6);
+  Rid rid{777, 3};
+  ASSERT_TRUE(bt::Apply(bt::kOpInsertKey, bt::EncodeKeyOp(3, key, rid, false),
+                        f.v)
+                  .ok());
+  EXPECT_NE(f.Snapshot(), before);
+  ASSERT_TRUE(bt::Apply(bt::kOpDeleteKey, bt::EncodeKeyOp(3, key, rid, true),
+                        f.v)
+                  .ok());
+  EXPECT_EQ(f.Snapshot(), before);
+}
+
+TEST(NodeApplyInverseTest, TruncateThenRestore) {
+  PageFixture f;
+  f.InitLeaf(8);
+  f.v.set_next_page(55);
+  std::string before = f.Snapshot();
+  auto removed = bt::CollectCells(f.v, 5);
+  std::string trunc = bt::EncodeTruncate(3, 5, /*old_next=*/55, /*new_next=*/88,
+                                         false, "", "", removed);
+  ASSERT_TRUE(bt::Apply(bt::kOpTruncate, trunc, f.v).ok());
+  EXPECT_EQ(f.v.slot_count(), 5);
+  EXPECT_EQ(f.v.next_page(), 88u);
+  EXPECT_TRUE(f.v.sm_bit());
+  std::vector<std::string> cells(removed.begin(), removed.end());
+  std::string restore = bt::EncodeRestore(3, 55, false, "", cells);
+  ASSERT_TRUE(bt::Apply(bt::kOpRestore, restore, f.v).ok());
+  EXPECT_EQ(f.Snapshot(), before);
+  EXPECT_FALSE(f.v.sm_bit());
+}
+
+TEST(NodeApplyInverseTest, InternalTruncateWithPromotedLast) {
+  PageFixture f;
+  f.InitInternal(6);  // 5 finite separators + inf
+  std::string before = f.Snapshot();
+  uint16_t from = 3;
+  auto removed = bt::CollectCells(f.v, from);
+  std::string old_last(f.v.Cell(from - 1));
+  bt::InternalEntry promoted = bt::DecodeInternalCell(old_last);
+  std::string new_last = bt::EncodeInternalCell(true, "", Rid{}, promoted.child);
+  std::string trunc = bt::EncodeTruncate(3, from, kInvalidPageId, kInvalidPageId,
+                                         true, old_last, new_last, removed);
+  ASSERT_TRUE(bt::Apply(bt::kOpTruncate, trunc, f.v).ok());
+  EXPECT_EQ(f.v.slot_count(), from);
+  EXPECT_TRUE(bt::DecodeInternalCell(f.v.Cell(from - 1)).inf);
+  std::vector<std::string> cells(removed.begin(), removed.end());
+  std::string restore = bt::EncodeRestore(3, kInvalidPageId, true, old_last, cells);
+  ASSERT_TRUE(bt::Apply(bt::kOpRestore, restore, f.v).ok());
+  EXPECT_EQ(f.Snapshot(), before);
+}
+
+TEST(NodeApplyInverseTest, SpliceThenUnsplice) {
+  PageFixture f;
+  f.InitInternal(5);
+  std::string before = f.Snapshot();
+  uint16_t slot = 2;
+  std::string old_cell(f.v.Cell(slot));
+  bt::InternalEntry old_e = bt::DecodeInternalCell(old_cell);
+  std::string new_cell = bt::EncodeInternalCell(false, Random(0).Key(15, 6),
+                                                Rid{1, 0}, old_e.child);
+  std::string ins_cell =
+      bt::EncodeInternalCell(old_e.inf, old_e.value, old_e.rid, 500);
+  std::string splice = bt::EncodeParentSplice(3, slot, old_cell, new_cell,
+                                              ins_cell);
+  ASSERT_TRUE(bt::Apply(bt::kOpParentSplice, splice, f.v).ok());
+  EXPECT_EQ(f.v.slot_count(), 6);
+  std::string unsplice = bt::EncodeParentUnsplice(3, slot, old_cell);
+  ASSERT_TRUE(bt::Apply(bt::kOpParentUnsplice, unsplice, f.v).ok());
+  EXPECT_EQ(f.Snapshot(), before);
+}
+
+TEST(NodeApplyInverseTest, ParentRemoveThenRestoreWithRightmostFix) {
+  PageFixture f;
+  f.InitInternal(5);
+  std::string before = f.Snapshot();
+  // Remove the rightmost (inf) entry: the previous entry becomes inf.
+  uint16_t slot = 4;
+  std::string removed(f.v.Cell(slot));
+  uint16_t fix_slot = 3;
+  std::string fix_old(f.v.Cell(fix_slot));
+  bt::InternalEntry prev_e = bt::DecodeInternalCell(fix_old);
+  std::string fix_new = bt::EncodeInternalCell(true, "", Rid{}, prev_e.child);
+  std::string rm = bt::EncodeParentRemove(3, slot, removed, true, fix_slot,
+                                          fix_old, fix_new);
+  ASSERT_TRUE(bt::Apply(bt::kOpParentRemove, rm, f.v).ok());
+  EXPECT_EQ(f.v.slot_count(), 4);
+  EXPECT_TRUE(bt::DecodeInternalCell(f.v.Cell(3)).inf);
+  std::string rs = bt::EncodeParentRestore(3, slot, removed, true, fix_slot,
+                                           fix_old);
+  ASSERT_TRUE(bt::Apply(bt::kOpParentRestore, rs, f.v).ok());
+  EXPECT_EQ(f.Snapshot(), before);
+}
+
+TEST(NodeApplyInverseTest, FormatThenUnformat) {
+  PageFixture f;
+  std::vector<std::string> cells;
+  for (uint64_t i = 0; i < 4; ++i) cells.push_back(LeafCell(i));
+  std::string fmt = bt::EncodeFormat(3, PageType::kBtreeLeaf, 0, true, 11, 12,
+                                     cells);
+  f.v.set_page_id(7);
+  ASSERT_TRUE(bt::Apply(bt::kOpFormat, fmt, f.v).ok());
+  EXPECT_EQ(f.v.slot_count(), 4);
+  EXPECT_TRUE(f.v.sm_bit());
+  EXPECT_EQ(f.v.prev_page(), 11u);
+  std::string p;
+  PutFixed32(&p, 3);
+  ASSERT_TRUE(bt::Apply(bt::kOpUnformat, p, f.v).ok());
+  EXPECT_EQ(f.v.type(), PageType::kFree);
+}
+
+TEST(NodeApplyInverseTest, ToFreeThenFromFree) {
+  PageFixture f;
+  f.InitLeaf(0);
+  f.v.set_prev_page(21);
+  f.v.set_next_page(22);
+  std::string to_free = bt::EncodeToFree(3, PageType::kBtreeLeaf, 0, 21, 22);
+  ASSERT_TRUE(bt::Apply(bt::kOpToFree, to_free, f.v).ok());
+  EXPECT_EQ(f.v.type(), PageType::kFree);
+  std::string from_free = bt::EncodeFromFree(3, PageType::kBtreeLeaf, 0, 21, 22);
+  ASSERT_TRUE(bt::Apply(bt::kOpFromFree, from_free, f.v).ok());
+  EXPECT_EQ(f.v.type(), PageType::kBtreeLeaf);
+  EXPECT_EQ(f.v.prev_page(), 21u);
+  EXPECT_EQ(f.v.next_page(), 22u);
+  EXPECT_EQ(f.v.slot_count(), 0);
+  EXPECT_TRUE(f.v.sm_bit());
+}
+
+TEST(NodeApplyInverseTest, RandomOpInverseProperty) {
+  // Property sweep: random leaf inserts/deletes, each inverted immediately,
+  // must always restore the canonical snapshot.
+  Random rnd(99);
+  PageFixture f;
+  f.InitLeaf(8);
+  for (int round = 0; round < 300; ++round) {
+    std::string before = f.Snapshot();
+    uint64_t i = rnd.Uniform(1000);
+    std::string key = Random(0).Key(i, 6) + "x";  // never collides with init
+    Rid rid{static_cast<PageId>(1000 + i), 0};
+    std::string ins = bt::EncodeKeyOp(3, key, rid, false);
+    if (!bt::Apply(bt::kOpInsertKey, ins, f.v).ok()) continue;  // page full
+    std::string del = bt::EncodeKeyOp(3, key, rid, true);
+    ASSERT_TRUE(bt::Apply(bt::kOpDeleteKey, del, f.v).ok());
+    ASSERT_EQ(f.Snapshot(), before) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace ariesim

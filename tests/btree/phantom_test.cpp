@@ -1,0 +1,211 @@
+// Repeatable-read / phantom protection (§2.2, §2.4):
+//  - a fetch that finds nothing locks the next key, so an insert of the
+//    fetched value by another transaction blocks until the fetcher commits;
+//  - a range scan's next-key locks block inserts into the scanned range;
+//  - the deleter's commit-duration next-key lock makes an uncommitted
+//    delete visible to fetchers (they block rather than miss the key).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class PhantomTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("phantom");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    db_->CreateTable("t", 1).value();
+    tree_ = db_->CreateIndex("t", "ix", 0, /*unique=*/false).value();
+  }
+  Rid R(uint64_t i) {
+    return Rid{static_cast<PageId>(3000 + i), static_cast<uint16_t>(i % 40)};
+  }
+  /// Expect `body` to block for at least 50ms, then finish once `unblock`
+  /// runs.
+  void ExpectBlocksUntil(const std::function<void()>& body,
+                         const std::function<void()>& unblock) {
+    std::atomic<bool> done{false};
+    std::thread t([&] {
+      body();
+      done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_FALSE(done.load()) << "operation should have blocked";
+    unblock();
+    t.join();
+    EXPECT_TRUE(done.load());
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  BTree* tree_;
+};
+
+TEST_F(PhantomTest, NotFoundFetchBlocksInsertOfThatValue) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "zz-next", R(1)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* reader = db_->Begin();
+  FetchResult r;
+  ASSERT_OK(tree_->Fetch(reader, "phantom", FetchCond::kEq, &r));
+  ASSERT_FALSE(r.found);  // next key "zz-next" is now S-locked to commit
+
+  Transaction* writer = db_->Begin();
+  ExpectBlocksUntil(
+      [&] {
+        // The insert's instant X on the next key ("zz-next") conflicts with
+        // the reader's commit S — the phantom is prevented until the reader
+        // commits.
+        Status s = tree_->Insert(writer, "phantom", R(2));
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      },
+      [&] { ASSERT_TRUE(db_->Commit(reader).ok()); });
+  ASSERT_OK(db_->Commit(writer));
+}
+
+TEST_F(PhantomTest, NotFoundAtEofBlocksInsertAtEof) {
+  Transaction* reader = db_->Begin();
+  FetchResult r;
+  ASSERT_OK(tree_->Fetch(reader, "anything", FetchCond::kGe, &r));
+  ASSERT_TRUE(r.eof);  // EOF name locked S commit
+
+  Transaction* writer = db_->Begin();
+  ExpectBlocksUntil(
+      [&] {
+        Status s = tree_->Insert(writer, "tail-key", R(3));
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      },
+      [&] { ASSERT_TRUE(db_->Commit(reader).ok()); });
+  ASSERT_OK(db_->Commit(writer));
+}
+
+TEST_F(PhantomTest, RangeScanBlocksInsertIntoRange) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "k10", R(4)));
+  ASSERT_OK(tree_->Insert(setup, "k30", R(5)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* reader = db_->Begin();
+  ScanCursor cur;
+  FetchResult first;
+  ASSERT_OK(tree_->OpenScan(reader, "k10", FetchCond::kGe, &cur, &first));
+  FetchResult next;
+  ASSERT_OK(tree_->FetchNext(reader, &cur, &next));  // locks "k30"
+  ASSERT_TRUE(next.found);
+  EXPECT_EQ(next.value, "k30");
+
+  Transaction* writer = db_->Begin();
+  ExpectBlocksUntil(
+      [&] {
+        // "k20" would appear between the scanned keys; its insert needs an
+        // instant X on next key "k30", held S by the scanner.
+        Status s = tree_->Insert(writer, "k20", R(6));
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      },
+      [&] { ASSERT_TRUE(db_->Commit(reader).ok()); });
+  ASSERT_OK(db_->Commit(writer));
+}
+
+TEST_F(PhantomTest, InsertBeyondLockedRangeDoesNotBlock) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "k10", R(7)));
+  ASSERT_OK(tree_->Insert(setup, "k30", R(8)));
+  ASSERT_OK(tree_->Insert(setup, "k50", R(9)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* reader = db_->Begin();
+  FetchResult r;
+  ASSERT_OK(tree_->Fetch(reader, "k10", FetchCond::kEq, &r));  // locks k10 only
+
+  // Inserting past the locked key is unhindered: next key of "k40" is
+  // "k50", which nobody holds.
+  Transaction* writer = db_->Begin();
+  ASSERT_OK(tree_->Insert(writer, "k40", R(10)));
+  ASSERT_OK(db_->Commit(writer));
+  ASSERT_OK(db_->Commit(reader));
+}
+
+TEST_F(PhantomTest, UncommittedDeleteBlocksFetchOfThatValue) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "victim", R(11)));
+  ASSERT_OK(tree_->Insert(setup, "wall", R(12)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* deleter = db_->Begin();
+  ASSERT_OK(tree_->Delete(deleter, "victim", R(11)));
+
+  Transaction* reader = db_->Begin();
+  ExpectBlocksUntil(
+      [&] {
+        // The fetch finds "wall" as the next key — which carries the
+        // deleter's commit X. The reader must wait: the delete could still
+        // roll back (§2.6 tripping point).
+        FetchResult r;
+        Status s = tree_->Fetch(reader, "victim", FetchCond::kEq, &r);
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        EXPECT_FALSE(r.found);  // delete committed by then
+      },
+      [&] { ASSERT_TRUE(db_->Commit(deleter).ok()); });
+  ASSERT_OK(db_->Commit(reader));
+}
+
+TEST_F(PhantomTest, RolledBackDeleteSeenAgainByWaitingFetch) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "victim", R(13)));
+  ASSERT_OK(tree_->Insert(setup, "wall", R(14)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* deleter = db_->Begin();
+  ASSERT_OK(tree_->Delete(deleter, "victim", R(13)));
+
+  Transaction* reader = db_->Begin();
+  ExpectBlocksUntil(
+      [&] {
+        FetchResult r;
+        Status s = tree_->Fetch(reader, "victim", FetchCond::kEq, &r);
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        EXPECT_TRUE(r.found) << "rolled-back delete must become visible again";
+      },
+      [&] { ASSERT_TRUE(db_->Rollback(deleter).ok()); });
+  ASSERT_OK(db_->Commit(reader));
+}
+
+TEST_F(PhantomTest, RepeatedNotFoundIsRepeatable) {
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(tree_->Insert(setup, "next", R(15)));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* reader = db_->Begin();
+  FetchResult r1, r2;
+  ASSERT_OK(tree_->Fetch(reader, "miss", FetchCond::kEq, &r1));
+  EXPECT_FALSE(r1.found);
+
+  // A concurrent inserter of "miss" blocks; run it in the background and
+  // repeat the read before the reader commits — it must still miss.
+  Transaction* writer = db_->Begin();
+  std::atomic<bool> inserted{false};
+  std::thread t([&] {
+    EXPECT_TRUE(tree_->Insert(writer, "miss", R(16)).ok());
+    inserted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_OK(tree_->Fetch(reader, "miss", FetchCond::kEq, &r2));
+  EXPECT_FALSE(r2.found) << "phantom appeared within one transaction";
+  EXPECT_FALSE(inserted.load());
+  ASSERT_OK(db_->Commit(reader));
+  t.join();
+  ASSERT_OK(db_->Commit(writer));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,216 @@
+// Serializability-oriented scenarios (§2.4-§2.6):
+//  - unique index: delete + insert of the same value by different
+//    transactions serialize (problem (10) of §1.1);
+//  - an uncommitted insert is visible as a tripping point (the inserted key
+//    itself carries the record lock);
+//  - the asymmetric next-key durations (instant for insert, commit for
+//    delete) give exactly the interleavings the paper allows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class SerializabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("ser");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    table_ = db_->CreateTable("t", 2).value();
+    ASSERT_TRUE(db_->CreateIndex("t", "pk", 0, /*unique=*/true).ok());
+  }
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_;
+};
+
+TEST_F(SerializabilityTest, UniqueDeleteThenInsertByOtherTxnSerializes) {
+  // §1.1 problem (10): T1 deletes value V (uncommitted); T2's insert of V
+  // must wait — if T1 rolled back, two keys with the same value would exist.
+  Transaction* setup = db_->Begin();
+  Rid rid;
+  ASSERT_OK(table_->Insert(setup, {"v", "old"}, &rid));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* t1 = db_->Begin();
+  ASSERT_OK(table_->Delete(t1, rid));
+
+  Transaction* t2 = db_->Begin();
+  std::atomic<bool> done{false};
+  std::atomic<bool> ok{false};
+  std::thread t([&] {
+    Status s = table_->Insert(t2, {"v", "new"});
+    ok = s.ok();
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(done.load()) << "insert of uncommitted-deleted value must wait";
+  ASSERT_OK(db_->Commit(t1));
+  t.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(ok.load()) << "after the delete commits, the insert succeeds";
+  ASSERT_OK(db_->Commit(t2));
+
+  Transaction* check = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(check, "pk", "v", &row));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1], "new");
+  ASSERT_OK(db_->Commit(check));
+}
+
+TEST_F(SerializabilityTest, UniqueDeleteRolledBackInsertGetsDuplicate) {
+  Transaction* setup = db_->Begin();
+  Rid rid;
+  ASSERT_OK(table_->Insert(setup, {"v", "old"}, &rid));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* t1 = db_->Begin();
+  ASSERT_OK(table_->Delete(t1, rid));
+
+  Transaction* t2 = db_->Begin();
+  std::atomic<bool> done{false};
+  Status result;
+  std::thread t([&] {
+    result = table_->Insert(t2, {"v", "new"});
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(done.load());
+  ASSERT_OK(db_->Rollback(t1));  // the value is back
+  t.join();
+  EXPECT_TRUE(result.IsDuplicate())
+      << "rolled-back delete means the value still exists: " << result.ToString();
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(SerializabilityTest, UncommittedInsertBlocksUniqueCheck) {
+  // An uncommitted insert IS visible (the key exists); a second inserter of
+  // the same value trips on the first inserter's record lock during the
+  // §2.4 unique check and waits.
+  Transaction* t1 = db_->Begin();
+  ASSERT_OK(table_->Insert(t1, {"v", "first"}));
+
+  Transaction* t2 = db_->Begin();
+  std::atomic<bool> done{false};
+  Status result;
+  std::thread t([&] {
+    result = table_->Insert(t2, {"v", "second"});
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(done.load()) << "unique check must wait on the uncommitted insert";
+  ASSERT_OK(db_->Commit(t1));
+  t.join();
+  EXPECT_TRUE(result.IsDuplicate()) << result.ToString();
+  ASSERT_OK(db_->Commit(t2));
+}
+
+TEST_F(SerializabilityTest, UncommittedInsertRolledBackAllowsSecondInsert) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_OK(table_->Insert(t1, {"v", "first"}));
+
+  Transaction* t2 = db_->Begin();
+  std::atomic<bool> done{false};
+  Status result;
+  std::thread t([&] {
+    result = table_->Insert(t2, {"v", "second"});
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(done.load());
+  ASSERT_OK(db_->Rollback(t1));
+  t.join();
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  ASSERT_OK(db_->Commit(t2));
+
+  Transaction* check = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(check, "pk", "v", &row));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1], "second");
+  ASSERT_OK(db_->Commit(check));
+}
+
+TEST_F(SerializabilityTest, InsertInstantNextKeyDoesNotBlockLaterReaders) {
+  // §2.6 asymmetry: the insert's next-key lock is INSTANT, so once the
+  // insert finishes (still uncommitted), readers of the *next* key proceed
+  // — the inserted key itself is the tripping point, not its neighbor.
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(table_->Insert(setup, {"neighbor", "x"}));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* writer = db_->Begin();
+  ASSERT_OK(table_->Insert(writer, {"mine", "y"}));  // next key: "neighbor"
+
+  // A reader of "neighbor" is NOT blocked (instant lock already released).
+  Transaction* reader = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(reader, "pk", "neighbor", &row));
+  EXPECT_TRUE(row.has_value());
+  ASSERT_OK(db_->Commit(reader));
+
+  // But a reader of the uncommitted "mine" blocks on its record lock.
+  Transaction* reader2 = db_->Begin();
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    std::optional<Row> r2;
+    EXPECT_TRUE(table_->FetchByKey(reader2, "pk", "mine", &r2).ok());
+    EXPECT_TRUE(r2.has_value());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(done.load());
+  ASSERT_OK(db_->Commit(writer));
+  t.join();
+  ASSERT_OK(db_->Commit(reader2));
+}
+
+TEST_F(SerializabilityTest, WriteSkewPreventedByNextKeyLocks) {
+  // Classic RR check expressed with indexes: T1 and T2 both verify a value
+  // is absent before inserting their own marker. With next-key locking both
+  // fetch-misses S-lock the same next key; the two inserts then deadlock or
+  // serialize — but both can never conclude "absent" and insert.
+  Transaction* setup = db_->Begin();
+  ASSERT_OK(table_->Insert(setup, {"zfence", "x"}));
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* t1 = db_->Begin();
+  Transaction* t2 = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(t1, "pk", "marker1", &row));
+  EXPECT_FALSE(row.has_value());
+  ASSERT_OK(table_->FetchByKey(t2, "pk", "marker2", &row));
+  EXPECT_FALSE(row.has_value());
+
+  // Both inserts target the range guarded by "zfence"'s S locks (held by
+  // both). Each insert needs instant X on "zfence": deadlock — one aborts.
+  std::atomic<int> ok_count{0}, deadlock_count{0};
+  auto run = [&](Transaction* txn, const std::string& key) {
+    Status s = table_->Insert(txn, {key, "1"});
+    if (s.ok()) {
+      ok_count.fetch_add(1);
+      EXPECT_TRUE(db_->Commit(txn).ok());
+    } else {
+      deadlock_count.fetch_add(1);
+      EXPECT_TRUE(db_->Rollback(txn).ok());
+    }
+  };
+  std::thread a(run, t1, "marker1");
+  std::thread b(run, t2, "marker2");
+  a.join();
+  b.join();
+  EXPECT_EQ(ok_count.load() + deadlock_count.load(), 2);
+  EXPECT_GE(deadlock_count.load(), 1) << "both inserting would be write skew";
+}
+
+}  // namespace
+}  // namespace ariesim

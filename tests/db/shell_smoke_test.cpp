@@ -1,0 +1,70 @@
+// End-to-end smoke test of the ariesh shell binary: pipes a script through
+// the REPL and checks the observable outputs (DDL, DML, txn brackets,
+// crash + recovery, validation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace ariesim {
+namespace {
+
+std::string FindShell() {
+  for (const char* cand :
+       {"./examples/ariesh", "examples/ariesh", "../examples/ariesh"}) {
+    if (std::filesystem::exists(cand)) return cand;
+  }
+  return "";
+}
+
+std::string RunShell(const std::string& dir, const std::string& script) {
+  std::string shell = FindShell();
+  std::string cmd = "printf '%b' \"" + script + "\" | " + shell + " " + dir +
+                    " 2>&1";
+  FILE* p = ::popen(cmd.c_str(), "r");
+  EXPECT_NE(p, nullptr);
+  std::string out;
+  char buf[512];
+  while (p != nullptr && std::fgets(buf, sizeof(buf), p) != nullptr) out += buf;
+  if (p != nullptr) ::pclose(p);
+  return out;
+}
+
+TEST(ShellSmokeTest, EndToEndScript) {
+  if (FindShell().empty()) {
+    GTEST_SKIP() << "ariesh binary not found relative to cwd";
+  }
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "ariesh_smoke").string();
+  std::filesystem::remove_all(dir);
+
+  std::string out = RunShell(
+      dir,
+      "create table users 2\\n"
+      "create index users_pk on users 0 unique\\n"
+      "insert users alice 30\\n"
+      "insert users bob 40\\n"
+      "get users users_pk alice\\n"
+      "begin\\n"
+      "insert users carol 50\\n"
+      "rollback\\n"
+      "get users users_pk carol\\n"
+      "scan users users_pk a z\\n"
+      "validate users_pk\\n"
+      "crash\\n"
+      "get users users_pk bob\\n"
+      "quit\\n");
+
+  EXPECT_NE(out.find("alice 30"), std::string::npos) << out;
+  EXPECT_NE(out.find("not found"), std::string::npos)
+      << "rolled-back carol should be gone:\n" << out;
+  EXPECT_NE(out.find("2 row(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("OK (2 keys)"), std::string::npos) << out;
+  EXPECT_NE(out.find("recovered:"), std::string::npos) << out;
+  EXPECT_NE(out.find("bob 40"), std::string::npos)
+      << "bob must survive the crash:\n" << out;
+}
+
+}  // namespace
+}  // namespace ariesim

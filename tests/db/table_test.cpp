@@ -1,0 +1,195 @@
+// Table-level tests: multi-index maintenance, scans with stop conditions,
+// nonunique secondary indexes, row arity, lock granularities.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("table");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    table_ = db_->CreateTable("orders", 3).value();  // id, customer, amount
+    ASSERT_TRUE(db_->CreateIndex("orders", "orders_pk", 0, true).ok());
+    ASSERT_TRUE(db_->CreateIndex("orders", "orders_by_cust", 1, false).ok());
+  }
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_;
+};
+
+TEST_F(TableTest, MultiIndexMaintenance) {
+  Transaction* txn = db_->Begin();
+  Rid rid;
+  ASSERT_OK(table_->Insert(txn, {"o1", "alice", "100"}, &rid));
+  ASSERT_OK(table_->Insert(txn, {"o2", "bob", "200"}));
+  ASSERT_OK(table_->Insert(txn, {"o3", "alice", "300"}));
+  ASSERT_OK(db_->Commit(txn));
+
+  size_t pk_keys = 0, cust_keys = 0;
+  ASSERT_OK(db_->GetIndex("orders_pk")->Validate(&pk_keys));
+  ASSERT_OK(db_->GetIndex("orders_by_cust")->Validate(&cust_keys));
+  EXPECT_EQ(pk_keys, 3u);
+  EXPECT_EQ(cust_keys, 3u);
+
+  // Delete maintains both indexes.
+  Transaction* del = db_->Begin();
+  ASSERT_OK(table_->Delete(del, rid));
+  ASSERT_OK(db_->Commit(del));
+  ASSERT_OK(db_->GetIndex("orders_pk")->Validate(&pk_keys));
+  ASSERT_OK(db_->GetIndex("orders_by_cust")->Validate(&cust_keys));
+  EXPECT_EQ(pk_keys, 2u);
+  EXPECT_EQ(cust_keys, 2u);
+}
+
+TEST_F(TableTest, NonuniqueIndexScanByDuplicateValue) {
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 10; ++i) {
+    std::string cust = (i % 2 == 0) ? "alice" : "bob";
+    ASSERT_OK(table_->Insert(txn, {"o" + std::to_string(i), cust,
+                                   std::to_string(i * 10)}));
+  }
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* q = db_->Begin();
+  TableScan scan(table_, db_->GetIndex("orders_by_cust"));
+  ASSERT_OK(scan.Open(q, "alice", FetchCond::kGe));
+  ASSERT_OK(scan.SetStop("alice", /*inclusive=*/true));
+  int alice_orders = 0;
+  while (true) {
+    Row row;
+    Rid rid;
+    bool done = false;
+    ASSERT_OK(scan.Next(q, &row, &rid, &done));
+    if (done) break;
+    EXPECT_EQ(row[1], "alice");
+    ++alice_orders;
+  }
+  EXPECT_EQ(alice_orders, 5);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(TableTest, RangeScanWithStops) {
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(table_->Insert(
+        txn, {"o" + Random(0).Key(i, 3), "c", std::to_string(i)}));
+  }
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* q = db_->Begin();
+  TableScan scan(table_, db_->GetIndex("orders_pk"));
+  ASSERT_OK(scan.Open(q, "o" + Random(0).Key(10, 3), FetchCond::kGe));
+  ASSERT_OK(scan.SetStop("o" + Random(0).Key(19, 3), /*inclusive=*/false));
+  int n = 0;
+  while (true) {
+    Row row;
+    Rid rid;
+    bool done = false;
+    ASSERT_OK(scan.Next(q, &row, &rid, &done));
+    if (done) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 9);  // [10, 19) = 9 rows
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(TableTest, WrongArityRejected) {
+  Transaction* txn = db_->Begin();
+  EXPECT_EQ(table_->Insert(txn, {"too", "few"}).code(), Code::kInvalidArgument);
+  EXPECT_EQ(table_->Insert(txn, {"way", "too", "many", "fields"}).code(),
+            Code::kInvalidArgument);
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(TableTest, EmptyScan) {
+  Transaction* q = db_->Begin();
+  TableScan scan(table_, db_->GetIndex("orders_pk"));
+  ASSERT_OK(scan.Open(q, "", FetchCond::kGe));
+  Row row;
+  Rid rid;
+  bool done = false;
+  ASSERT_OK(scan.Next(q, &row, &rid, &done));
+  EXPECT_TRUE(done);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(TableTest, PageGranularityLocking) {
+  TempDir dir2("table_pg");
+  Options o = SmallPageOptions();
+  o.lock_granularity = LockGranularity::kPage;
+  auto db2 = std::move(Database::Open(dir2.path(), o)).value();
+  Table* t2 = db2->CreateTable("t", 2).value();
+  ASSERT_TRUE(db2->CreateIndex("t", "pk", 0, true).ok());
+  Transaction* txn = db2->Begin();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_OK(t2->Insert(txn, {"k" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db2->Commit(txn));
+  Transaction* q = db2->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(t2->FetchByKey(q, "pk", "k7", &row));
+  EXPECT_TRUE(row.has_value());
+  ASSERT_OK(db2->Commit(q));
+  size_t keys = 0;
+  ASSERT_OK(db2->GetIndex("pk")->Validate(&keys));
+  EXPECT_EQ(keys, 30u);
+}
+
+TEST_F(TableTest, TableGranularityLocking) {
+  TempDir dir2("table_tg");
+  Options o = SmallPageOptions();
+  o.lock_granularity = LockGranularity::kTable;
+  auto db2 = std::move(Database::Open(dir2.path(), o)).value();
+  Table* t2 = db2->CreateTable("t", 2).value();
+  ASSERT_TRUE(db2->CreateIndex("t", "pk", 0, true).ok());
+  Transaction* txn = db2->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(t2->Insert(txn, {"k" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db2->Commit(txn));
+  Transaction* q = db2->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(t2->FetchByKey(q, "pk", "k3", &row));
+  EXPECT_TRUE(row.has_value());
+  ASSERT_OK(db2->Commit(q));
+}
+
+TEST_F(TableTest, ScanSurvivesCrashRecovery) {
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(table_->Insert(
+        txn, {"o" + Random(0).Key(i, 3), "c" + std::to_string(i % 3),
+              std::to_string(i)}));
+  }
+  ASSERT_OK(db_->Commit(txn));
+  db_->SimulateCrash();
+
+  db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+  table_ = db_->GetTable("orders");
+  Transaction* q = db_->Begin();
+  TableScan scan(table_, db_->GetIndex("orders_pk"));
+  ASSERT_OK(scan.Open(q, "", FetchCond::kGe));
+  int n = 0;
+  while (true) {
+    Row row;
+    Rid rid;
+    bool done = false;
+    ASSERT_OK(scan.Next(q, &row, &rid, &done));
+    if (done) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 40);
+  ASSERT_OK(db_->Commit(q));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,162 @@
+// Table::Update tests: in-place heap update, index maintenance only for
+// changed key columns, statement atomicity, rollback, and crash recovery of
+// updates. Plus prefix fetch (paper §1.1 partial key values).
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("update");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    table_ = db_->CreateTable("t", 3).value();  // id, category, payload
+    ASSERT_TRUE(db_->CreateIndex("t", "pk", 0, true).ok());
+    ASSERT_TRUE(db_->CreateIndex("t", "by_cat", 1, false).ok());
+  }
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_;
+};
+
+TEST_F(UpdateTest, NonKeyColumnUpdateLeavesIndexesAlone) {
+  Transaction* txn = db_->Begin();
+  Rid rid;
+  ASSERT_OK(table_->Insert(txn, {"id1", "catA", "v1"}, &rid));
+  ASSERT_OK(db_->Commit(txn));
+  size_t pk_before = 0, cat_before = 0;
+  ASSERT_OK(db_->GetIndex("pk")->Validate(&pk_before));
+  ASSERT_OK(db_->GetIndex("by_cat")->Validate(&cat_before));
+
+  Transaction* u = db_->Begin();
+  uint64_t log_recs_before = db_->metrics().log_records.load();
+  ASSERT_OK(table_->Update(u, rid, {"id1", "catA", "v2"}));
+  // Only the heap update record (plus commit bookkeeping) — no index ops.
+  EXPECT_LE(db_->metrics().log_records.load() - log_recs_before, 1u);
+  ASSERT_OK(db_->Commit(u));
+
+  Transaction* q = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(q, "pk", "id1", &row));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[2], "v2");
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(UpdateTest, KeyColumnUpdateMovesIndexEntry) {
+  Transaction* txn = db_->Begin();
+  Rid rid;
+  ASSERT_OK(table_->Insert(txn, {"id1", "catA", "v"}, &rid));
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* u = db_->Begin();
+  ASSERT_OK(table_->Update(u, rid, {"id1", "catB", "v"}));
+  ASSERT_OK(db_->Commit(u));
+
+  Transaction* q = db_->Begin();
+  FetchResult r;
+  ASSERT_OK(db_->GetIndex("by_cat")->Fetch(q, "catA", FetchCond::kEq, &r));
+  EXPECT_FALSE(r.found) << "old key must be gone";
+  ASSERT_OK(db_->GetIndex("by_cat")->Fetch(q, "catB", FetchCond::kEq, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.rid, rid);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(UpdateTest, UpdateRolledBack) {
+  Transaction* txn = db_->Begin();
+  Rid rid;
+  ASSERT_OK(table_->Insert(txn, {"id1", "catA", "v1"}, &rid));
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* u = db_->Begin();
+  ASSERT_OK(table_->Update(u, rid, {"id1", "catB", "v2"}));
+  ASSERT_OK(db_->Rollback(u));
+
+  Transaction* q = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(q, "pk", "id1", &row));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1], "catA");
+  EXPECT_EQ((*row)[2], "v1");
+  FetchResult r;
+  ASSERT_OK(db_->GetIndex("by_cat")->Fetch(q, "catB", FetchCond::kEq, &r));
+  EXPECT_FALSE(r.found);
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(UpdateTest, UniqueViolationOnKeyUpdateIsStatementAtomic) {
+  Transaction* txn = db_->Begin();
+  Rid rid1;
+  ASSERT_OK(table_->Insert(txn, {"id1", "catA", "v"}, &rid1));
+  ASSERT_OK(table_->Insert(txn, {"id2", "catB", "v"}));
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* u = db_->Begin();
+  Status s = table_->Update(u, rid1, {"id2", "catA", "v"});  // pk collision
+  EXPECT_TRUE(s.IsDuplicate()) << s.ToString();
+  // Statement rolled back: id1 still intact, transaction still usable.
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(u, "pk", "id1", &row));
+  EXPECT_TRUE(row.has_value());
+  ASSERT_OK(db_->Commit(u));
+  size_t keys = 0;
+  ASSERT_OK(db_->GetIndex("pk")->Validate(&keys));
+  EXPECT_EQ(keys, 2u);
+}
+
+TEST_F(UpdateTest, UpdateSurvivesCrash) {
+  Rid rid;
+  {
+    Transaction* txn = db_->Begin();
+    ASSERT_OK(table_->Insert(txn, {"id1", "catA", "v1"}, &rid));
+    ASSERT_OK(db_->Commit(txn));
+    Transaction* u = db_->Begin();
+    ASSERT_OK(table_->Update(u, rid, {"id1", "catC", "v9"}));
+    ASSERT_OK(db_->Commit(u));
+    db_->SimulateCrash();
+  }
+  db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+  table_ = db_->GetTable("t");
+  Transaction* q = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(q, "by_cat", "catC", &row));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[2], "v9");
+  ASSERT_OK(db_->Commit(q));
+}
+
+TEST_F(UpdateTest, PrefixFetchFindsMatchingKey) {
+  Transaction* txn = db_->Begin();
+  ASSERT_OK(table_->Insert(txn, {"user-001", "c", "v"}));
+  ASSERT_OK(table_->Insert(txn, {"user-002", "c", "v"}));
+  ASSERT_OK(table_->Insert(txn, {"widget-9", "c", "v"}));
+  ASSERT_OK(db_->Commit(txn));
+
+  Transaction* q = db_->Begin();
+  BTree* pk = db_->GetIndex("pk");
+  FetchResult r;
+  // Paper §1.1: "Given a key value or a partial key value (its prefix),
+  // check if it is in the index and fetch the full key."
+  ASSERT_OK(pk->Fetch(q, "user-", FetchCond::kPrefix, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "user-001");
+  ASSERT_OK(pk->Fetch(q, "widget", FetchCond::kPrefix, &r));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "widget-9");
+  ASSERT_OK(pk->Fetch(q, "zebra", FetchCond::kPrefix, &r));
+  EXPECT_FALSE(r.found) << "no key with that prefix";
+  ASSERT_OK(pk->Fetch(q, "vXX", FetchCond::kPrefix, &r));
+  EXPECT_FALSE(r.found) << "next key (widget-9) does not share the prefix";
+  ASSERT_OK(db_->Commit(q));
+}
+
+}  // namespace
+}  // namespace ariesim

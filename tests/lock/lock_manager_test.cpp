@@ -1,0 +1,239 @@
+// Lock manager tests: grant/conflict/wait, conditional requests, instant
+// duration, conversions (upgrades), release-all, deadlock detection with
+// youngest-victim selection, and the observer hook.
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ariesim {
+namespace {
+
+LockName NameA() { return LockName::Record(1, Rid{10, 1}); }
+LockName NameB() { return LockName::Record(1, Rid{10, 2}); }
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  Metrics m_;
+  LockManager lm_{&m_};
+};
+
+TEST_F(LockManagerTest, GrantAndRelease) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  EXPECT_TRUE(lm_.Holds(1, NameA(), LockMode::kX));
+  EXPECT_EQ(lm_.HeldCount(1), 1u);
+  lm_.ReleaseAll(1);
+  EXPECT_FALSE(lm_.Holds(1, NameA(), LockMode::kX));
+  EXPECT_EQ(lm_.HeldCount(1), 0u);
+}
+
+TEST_F(LockManagerTest, SharedCompatibleExclusiveNot) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  EXPECT_TRUE(
+      lm_.Lock(3, NameA(), LockMode::kX, LockDuration::kCommit, true).IsBusy());
+  lm_.ReleaseAll(1);
+  EXPECT_TRUE(
+      lm_.Lock(3, NameA(), LockMode::kX, LockDuration::kCommit, true).IsBusy());
+  lm_.ReleaseAll(2);
+  EXPECT_TRUE(lm_.Lock(3, NameA(), LockMode::kX, LockDuration::kCommit, true).ok());
+}
+
+TEST_F(LockManagerTest, ConditionalDenialLeavesNoResidue) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  EXPECT_TRUE(
+      lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, true).IsBusy());
+  lm_.ReleaseAll(1);
+  // The denied conditional request must not have queued txn 2.
+  EXPECT_TRUE(lm_.Lock(3, NameA(), LockMode::kX, LockDuration::kCommit, true).ok());
+}
+
+TEST_F(LockManagerTest, UnconditionalWaitsUntilRelease) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status s = lm_.Lock(2, NameA(), LockMode::kX, LockDuration::kCommit, false);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  lm_.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_TRUE(lm_.Holds(2, NameA(), LockMode::kX));
+  lm_.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, InstantDurationLeavesNothingHeld) {
+  ASSERT_TRUE(
+      lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kInstant, false).ok());
+  EXPECT_EQ(lm_.HeldCount(1), 0u);
+  // Another transaction can take it immediately.
+  EXPECT_TRUE(lm_.Lock(2, NameA(), LockMode::kX, LockDuration::kCommit, true).ok());
+}
+
+TEST_F(LockManagerTest, InstantWaitsForConflicts) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    // Instant X must still wait until the holder releases (that is its
+    // entire point: proving no conflicting transaction exists right now).
+    Status s = lm_.Lock(2, NameA(), LockMode::kX, LockDuration::kInstant, false);
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());
+  lm_.ReleaseAll(1);
+  t.join();
+  EXPECT_EQ(lm_.HeldCount(2), 0u);
+}
+
+TEST_F(LockManagerTest, RepeatRequestCoveredByHeld) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  // S under held X: trivially granted, still one held name.
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  EXPECT_EQ(lm_.HeldCount(1), 1u);
+  lm_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, UpgradeSToX) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  EXPECT_TRUE(lm_.Holds(1, NameA(), LockMode::kX));
+  EXPECT_TRUE(
+      lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, true).IsBusy());
+  lm_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherSharers) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  EXPECT_TRUE(
+      lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, true).IsBusy());
+  // After denial, txn 1 must still hold its original S lock.
+  EXPECT_TRUE(lm_.Holds(1, NameA(), LockMode::kS));
+  lm_.ReleaseAll(2);
+  EXPECT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, true).ok());
+  lm_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, IntentModesCoexist) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kIX, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(2, NameA(), LockMode::kIX, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(3, NameA(), LockMode::kIS, LockDuration::kCommit, false).ok());
+  EXPECT_TRUE(
+      lm_.Lock(4, NameA(), LockMode::kS, LockDuration::kCommit, true).IsBusy());
+  lm_.ReleaseAll(1);
+  lm_.ReleaseAll(2);
+  EXPECT_TRUE(lm_.Lock(4, NameA(), LockMode::kS, LockDuration::kCommit, true).ok());
+  lm_.ReleaseAll(3);
+  lm_.ReleaseAll(4);
+}
+
+TEST_F(LockManagerTest, DeadlockDetectedYoungestAborted) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(2, NameB(), LockMode::kX, LockDuration::kCommit, false).ok());
+  std::atomic<int> deadlocked{0};
+  std::atomic<int> granted{0};
+  std::thread t1([&] {
+    Status s = lm_.Lock(1, NameB(), LockMode::kX, LockDuration::kCommit, false);
+    if (s.IsDeadlock()) {
+      deadlocked.fetch_add(1);
+      lm_.ReleaseAll(1);
+    } else if (s.ok()) {
+      granted.fetch_add(1);
+    }
+  });
+  std::thread t2([&] {
+    Status s = lm_.Lock(2, NameA(), LockMode::kX, LockDuration::kCommit, false);
+    if (s.IsDeadlock()) {
+      deadlocked.fetch_add(1);
+      lm_.ReleaseAll(2);
+    } else if (s.ok()) {
+      granted.fetch_add(1);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(deadlocked.load(), 1) << "exactly one victim";
+  EXPECT_EQ(granted.load(), 1) << "the survivor proceeds";
+  EXPECT_GE(m_.deadlocks.load(), 1u);
+  lm_.ReleaseAll(1);
+  lm_.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, ConversionDeadlockDetected) {
+  // Two S holders both upgrading to X: classic conversion deadlock.
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  std::atomic<int> deadlocked{0};
+  auto upgrade = [&](TxnId id) {
+    Status s = lm_.Lock(id, NameA(), LockMode::kX, LockDuration::kCommit, false);
+    if (s.IsDeadlock()) {
+      deadlocked.fetch_add(1);
+      lm_.ReleaseAll(id);
+    }
+  };
+  std::thread t1(upgrade, 1);
+  std::thread t2(upgrade, 2);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(deadlocked.load(), 1);
+  lm_.ReleaseAll(1);
+  lm_.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, ObserverSeesEvents) {
+  std::vector<LockEvent> events;
+  lm_.SetObserver([&](const LockEvent& e) { events.push_back(e); });
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kS, LockDuration::kCommit, false).ok());
+  ASSERT_TRUE(
+      lm_.Lock(1, NameB(), LockMode::kX, LockDuration::kInstant, false).ok());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_FALSE(events[0].already_held);
+  EXPECT_TRUE(events[1].already_held);
+  EXPECT_EQ(events[2].duration, LockDuration::kInstant);
+  EXPECT_EQ(events[2].mode, LockMode::kX);
+  lm_.SetObserver(nullptr);
+  lm_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, ManualUnlock) {
+  ASSERT_TRUE(lm_.Lock(1, NameA(), LockMode::kX, LockDuration::kManual, false).ok());
+  EXPECT_TRUE(
+      lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, true).IsBusy());
+  lm_.Unlock(1, NameA());
+  EXPECT_TRUE(lm_.Lock(2, NameA(), LockMode::kS, LockDuration::kCommit, true).ok());
+  lm_.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, StressManyThreadsManyNames) {
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      TxnId me = static_cast<TxnId>(t + 1);
+      for (int i = 0; i < kOps; ++i) {
+        LockName n = LockName::Record(
+            1, Rid{static_cast<PageId>(10 + (i % 7)), static_cast<uint16_t>(t)});
+        Status s = lm_.Lock(me, n, (i % 3 == 0) ? LockMode::kX : LockMode::kS,
+                            LockDuration::kCommit, false);
+        if (!s.ok() && !s.IsDeadlock()) errors.fetch_add(1);
+        if (i % 10 == 9) lm_.ReleaseAll(me);
+      }
+      lm_.ReleaseAll(me);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,96 @@
+// Lock mode lattice and compatibility matrix [Gray78].
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesim {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using enum LockMode;
+  // IS compatible with everything except X.
+  EXPECT_TRUE(LockCompatible(kIS, kIS));
+  EXPECT_TRUE(LockCompatible(kIS, kIX));
+  EXPECT_TRUE(LockCompatible(kIS, kS));
+  EXPECT_TRUE(LockCompatible(kIS, kSIX));
+  EXPECT_FALSE(LockCompatible(kIS, kX));
+  // IX compatible with IS/IX only.
+  EXPECT_TRUE(LockCompatible(kIX, kIX));
+  EXPECT_FALSE(LockCompatible(kIX, kS));
+  EXPECT_FALSE(LockCompatible(kIX, kSIX));
+  EXPECT_FALSE(LockCompatible(kIX, kX));
+  // S compatible with IS/S.
+  EXPECT_TRUE(LockCompatible(kS, kS));
+  EXPECT_FALSE(LockCompatible(kS, kSIX));
+  EXPECT_FALSE(LockCompatible(kS, kX));
+  // SIX compatible with IS only.
+  EXPECT_FALSE(LockCompatible(kSIX, kSIX));
+  // X compatible with nothing.
+  EXPECT_FALSE(LockCompatible(kX, kX));
+  // Symmetry.
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      EXPECT_EQ(LockCompatible(static_cast<LockMode>(a), static_cast<LockMode>(b)),
+                LockCompatible(static_cast<LockMode>(b), static_cast<LockMode>(a)));
+    }
+  }
+}
+
+TEST(LockModeTest, SupremumLattice) {
+  using enum LockMode;
+  EXPECT_EQ(LockSupremum(kIS, kIX), kIX);
+  EXPECT_EQ(LockSupremum(kIS, kS), kS);
+  EXPECT_EQ(LockSupremum(kIX, kS), kSIX);
+  EXPECT_EQ(LockSupremum(kS, kIX), kSIX);
+  EXPECT_EQ(LockSupremum(kSIX, kS), kSIX);
+  EXPECT_EQ(LockSupremum(kSIX, kIX), kSIX);
+  EXPECT_EQ(LockSupremum(kS, kX), kX);
+  for (int a = 0; a < 5; ++a) {
+    LockMode ma = static_cast<LockMode>(a);
+    EXPECT_EQ(LockSupremum(ma, ma), ma);          // idempotent
+    EXPECT_EQ(LockSupremum(ma, kX), kX);          // X absorbs
+    EXPECT_EQ(LockSupremum(kIS, ma), ma);         // IS is bottom
+    for (int b = 0; b < 5; ++b) {
+      LockMode mb = static_cast<LockMode>(b);
+      EXPECT_EQ(LockSupremum(ma, mb), LockSupremum(mb, ma));  // commutative
+      // The supremum covers both inputs.
+      EXPECT_TRUE(LockCovers(LockSupremum(ma, mb), ma));
+      EXPECT_TRUE(LockCovers(LockSupremum(ma, mb), mb));
+    }
+  }
+}
+
+TEST(LockModeTest, Covers) {
+  using enum LockMode;
+  EXPECT_TRUE(LockCovers(kX, kS));
+  EXPECT_TRUE(LockCovers(kX, kIX));
+  EXPECT_TRUE(LockCovers(kSIX, kS));
+  EXPECT_TRUE(LockCovers(kSIX, kIX));
+  EXPECT_FALSE(LockCovers(kS, kIX));
+  EXPECT_FALSE(LockCovers(kIX, kS));
+  EXPECT_FALSE(LockCovers(kS, kX));
+}
+
+TEST(LockNameTest, EqualityAndSpaces) {
+  Rid r{10, 2};
+  EXPECT_EQ(LockName::Record(1, r), LockName::Record(1, r));
+  EXPECT_NE(LockName::Record(1, r), LockName::Record(2, r));
+  EXPECT_NE(LockName::Record(1, r), LockName::Page(1, 10));
+  EXPECT_NE(LockName::Record(1, r), LockName::Key(1, r.Pack(), r));
+  EXPECT_NE(LockName::IndexEof(1), LockName::IndexEof(2));
+  LockNameHash h;
+  EXPECT_EQ(h(LockName::Record(1, r)), h(LockName::Record(1, r)));
+}
+
+TEST(LockNameTest, DataLockNameGranularity) {
+  Rid r{10, 2};
+  EXPECT_EQ(DataLockName(LockGranularity::kRecord, 5, r), LockName::Record(5, r));
+  EXPECT_EQ(DataLockName(LockGranularity::kPage, 5, r), LockName::Page(5, 10));
+  EXPECT_EQ(DataLockName(LockGranularity::kTable, 5, r), LockName::Table(5));
+  // Page granularity merges RIDs on the same page.
+  EXPECT_EQ(DataLockName(LockGranularity::kPage, 5, Rid{10, 2}),
+            DataLockName(LockGranularity::kPage, 5, Rid{10, 9}));
+}
+
+}  // namespace
+}  // namespace ariesim

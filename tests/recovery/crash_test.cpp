@@ -1,0 +1,204 @@
+// Crash-point matrix: crashes with different flush states (nothing / some
+// pages / all pages on disk), crash mid-rollback (CLR chain resumption),
+// crash right after partial rollback to a savepoint, and crash mid-SMO with
+// everything flushed.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class CrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("crash");
+    Open();
+    table_ = db_->CreateTable("t", 2).value();
+    tree_ = db_->CreateIndex("t", "pk", 0, true).value();
+  }
+  void Open() {
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+  }
+  void Reopen() {
+    Open();
+    table_ = db_->GetTable("t");
+    tree_ = db_->GetIndex("pk");
+    ASSERT_NE(table_, nullptr);
+  }
+  size_t CountKeys() {
+    size_t keys = 0;
+    EXPECT_OK(tree_->Validate(&keys));
+    return keys;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_;
+  BTree* tree_;
+};
+
+TEST_F(CrashTest, PartialPageFlushMixedTxns) {
+  // Committed and uncommitted work interleaved; a random subset of pages
+  // stolen to disk before the crash. Recovery must redo the committed work
+  // on unflushed pages and undo the loser work on flushed pages.
+  Transaction* committed = db_->Begin();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(table_->Insert(committed, {"c" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->Commit(committed));
+
+  Transaction* loser = db_->Begin();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(table_->Insert(loser, {"l" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->wal()->FlushAll());
+  // Steal every third page.
+  for (PageId pid = 0; pid < 120; pid += 3) {
+    (void)db_->FlushPage(pid);
+  }
+  db_->SimulateCrash();
+
+  Reopen();
+  EXPECT_EQ(CountKeys(), 40u);
+  Transaction* check = db_->Begin();
+  std::optional<Row> row;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(table_->FetchByKey(check, "pk", "c" + std::to_string(i), &row));
+    EXPECT_TRUE(row.has_value()) << "c" << i;
+    ASSERT_OK(table_->FetchByKey(check, "pk", "l" + std::to_string(i), &row));
+    EXPECT_FALSE(row.has_value()) << "l" << i;
+  }
+  ASSERT_OK(db_->Commit(check));
+}
+
+TEST_F(CrashTest, CrashAfterPartialRollbackResumesViaCLRs) {
+  // The loser had already rolled back part of its work (savepoint) before
+  // the crash. The CLRs written then must not be undone, and the remaining
+  // records must be undone exactly once.
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(table_->Insert(txn, {"a" + std::to_string(i), "v"}));
+  }
+  Lsn sp = txn->Savepoint();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(table_->Insert(txn, {"b" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->RollbackToSavepoint(txn, sp));  // b* undone with CLRs
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(table_->Insert(txn, {"c" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->wal()->FlushAll());
+  ASSERT_OK(db_->FlushAllPages());
+  db_->SimulateCrash();  // txn never committed: full undo at restart
+
+  Reopen();
+  EXPECT_EQ(CountKeys(), 0u) << "everything must be rolled back exactly once";
+}
+
+TEST_F(CrashTest, CrashDuringRestartUndoThenRecoverAgain) {
+  // Crash during recovery's undo pass; the next recovery resumes from the
+  // CLRs — bounded logging, no duplicated undo (paper §1.2).
+  Transaction* loser = db_->Begin();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_OK(table_->Insert(loser, {"k" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->wal()->FlushAll());
+  ASSERT_OK(db_->FlushAllPages());
+  db_->SimulateCrash();
+
+  // First recovery attempt: inject a crash after 10 undo records.
+  {
+    Options o = SmallPageOptions();
+    o.recover_on_open = false;
+    auto db = std::move(Database::Open(dir_->path(), o)).value();
+    db->recovery()->TestStopUndoAfter(10);
+    RestartStats stats;
+    Status s = db->recovery()->Restart(&stats);
+    EXPECT_EQ(s.code(), Code::kIOError) << "injected stop expected";
+    ASSERT_OK(db->wal()->FlushAll());
+    db->SimulateCrash();
+  }
+  // Second recovery completes.
+  Reopen();
+  EXPECT_EQ(CountKeys(), 0u);
+  // And the database is usable.
+  Transaction* txn = db_->Begin();
+  ASSERT_OK(table_->Insert(txn, {"alive", "v"}));
+  ASSERT_OK(db_->Commit(txn));
+}
+
+TEST_F(CrashTest, CrashMidSmoWithAllPagesFlushed) {
+  std::string fat(20, 'z');
+  Transaction* setup = db_->Begin();
+  for (uint64_t i = 0; i < 12; ++i) {
+    ASSERT_OK(tree_->Insert(setup, "k" + Random(0).Key(i, 6) + fat,
+                            Rid{static_cast<PageId>(9000 + i), 0}));
+  }
+  ASSERT_OK(db_->Commit(setup));
+
+  Transaction* loser = db_->Begin();
+  tree_->TestSetFailBeforeParentSplice();
+  Status s = Status::OK();
+  for (uint64_t i = 0; i < 100 && s.ok(); ++i) {
+    s = tree_->Insert(loser, "x" + Random(0).Key(i, 6) + fat,
+                      Rid{static_cast<PageId>(9100 + i), 0});
+  }
+  ASSERT_EQ(s.code(), Code::kIOError);
+  ASSERT_OK(db_->wal()->FlushAll());
+  ASSERT_OK(db_->FlushAllPages());  // the torn SMO state reaches disk
+  db_->SimulateCrash();
+
+  Reopen();
+  size_t keys = 0;
+  ASSERT_OK(tree_->Validate(&keys));
+  EXPECT_EQ(keys, 12u);
+}
+
+TEST_F(CrashTest, RedoIsPageOriented) {
+  // The redo pass never traverses the index: it applies records to the
+  // logged pages directly. Demonstrated by recovering a large committed
+  // workload and checking traversal-restart metrics stayed zero during
+  // restart.
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(table_->Insert(txn, {"k" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->Commit(txn));
+  db_->SimulateCrash();
+
+  Reopen();
+  EXPECT_GT(db_->restart_stats().redo_applied, 0u);
+  EXPECT_EQ(db_->metrics().traversal_restarts.load(), 0u)
+      << "redo must not traverse the tree";
+  EXPECT_EQ(db_->metrics().logical_undos.load(), 0u);
+  EXPECT_EQ(CountKeys(), 200u);
+}
+
+TEST_F(CrashTest, CommitAfterRecoveryOfSameKeys) {
+  // Recovered state accepts new conflicting-free transactions immediately:
+  // locks of losers were released at end of restart undo.
+  Transaction* loser = db_->Begin();
+  ASSERT_OK(table_->Insert(loser, {"contested", "loser"}));
+  ASSERT_OK(db_->wal()->FlushAll());
+  db_->SimulateCrash();
+
+  Reopen();
+  Transaction* txn = db_->Begin();
+  ASSERT_OK(table_->Insert(txn, {"contested", "winner"}));
+  ASSERT_OK(db_->Commit(txn));
+  Transaction* check = db_->Begin();
+  std::optional<Row> row;
+  ASSERT_OK(table_->FetchByKey(check, "pk", "contested", &row));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1], "winner");
+  ASSERT_OK(db_->Commit(check));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,155 @@
+// Media recovery (paper §5): take a fuzzy image copy (dump) of the data
+// file, keep running committed work, then lose/corrupt a page. Restore the
+// page's bytes from the dump and roll it forward using the log — the page
+// comes back up-to-date, page-oriented, without touching the rest of the
+// tree.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class MediaRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("media");
+    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    table_ = db_->CreateTable("t", 2).value();
+    tree_ = db_->CreateIndex("t", "pk", 0, true).value();
+  }
+  std::string DataPath() { return dir_->path() + "/data.db"; }
+  std::string DumpPath() { return dir_->path() + "/dump.db"; }
+
+  void TakeDump() {
+    ASSERT_OK(db_->FlushAllPages());
+    std::filesystem::copy_file(DataPath(), DumpPath(),
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+  /// Restore one page's bytes from the dump into the live file.
+  void RestorePageFromDump(PageId pid) {
+    size_t ps = db_->options().page_size;
+    std::ifstream dump(DumpPath(), std::ios::binary);
+    std::string page(ps, '\0');
+    dump.seekg(static_cast<std::streamoff>(pid) * static_cast<std::streamoff>(ps));
+    dump.read(page.data(), static_cast<std::streamsize>(ps));
+    std::fstream data(DataPath(),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    data.seekp(static_cast<std::streamoff>(pid) * static_cast<std::streamoff>(ps));
+    data.write(page.data(), static_cast<std::streamsize>(ps));
+  }
+  void CorruptPage(PageId pid) {
+    size_t ps = db_->options().page_size;
+    std::fstream data(DataPath(),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    std::string junk(ps, '\xAB');
+    data.seekp(static_cast<std::streamoff>(pid) * static_cast<std::streamoff>(ps));
+    data.write(junk.data(), static_cast<std::streamsize>(ps));
+  }
+  /// Leaf of the sole index holding `value` (quiesced, via direct page scan).
+  PageId LeafOf(const std::string& value) {
+    for (PageId pid = 0; pid < 300; ++pid) {
+      auto g = db_->pool()->FetchPage(pid, LatchMode::kShared);
+      if (!g.ok()) continue;
+      PageView v = g.value().view();
+      if (v.type() != PageType::kBtreeLeaf || v.owner_id() != tree_->index_id()) {
+        continue;
+      }
+      for (uint16_t i = 0; i < v.slot_count(); ++i) {
+        if (bt::DecodeLeafCell(v.Cell(i)).value == value) return pid;
+      }
+    }
+    return kInvalidPageId;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_;
+  BTree* tree_;
+};
+
+TEST_F(MediaRecoveryTest, PageRestoredFromDumpAndRolledForward) {
+  // Phase 1: committed base data, then the dump.
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(table_->Insert(txn, {"k" + std::to_string(i), "v1"}));
+  }
+  ASSERT_OK(db_->Commit(txn));
+  TakeDump();
+  Lsn dump_lsn = db_->wal()->next_lsn();
+
+  // Phase 2: more committed work touching the same pages.
+  Transaction* txn2 = db_->Begin();
+  for (int i = 20; i < 40; ++i) {
+    ASSERT_OK(table_->Insert(txn2, {"k" + std::to_string(i), "v2"}));
+  }
+  ASSERT_OK(db_->Commit(txn2));
+  PageId victim = LeafOf("k25");
+  ASSERT_NE(victim, kInvalidPageId);
+  // Flush everything, then destroy the victim page on disk and evict it
+  // from the pool (simulating a media read error on that page).
+  ASSERT_OK(db_->FlushAllPages());
+  db_->pool()->DropAll();
+  CorruptPage(victim);
+
+  // Reading the corrupt page fails the checksum.
+  EXPECT_EQ(db_->pool()->FetchPage(victim, LatchMode::kShared).status().code(),
+            Code::kCorruption);
+
+  // Media recovery: restore from the dump, roll forward from the dump LSN.
+  RestorePageFromDump(victim);
+  db_->pool()->DropAll();
+  ASSERT_OK(db_->recovery()->RollForwardPage(victim, dump_lsn));
+
+  // The page is current again: all 40 keys reachable, tree valid.
+  Transaction* check = db_->Begin();
+  std::optional<Row> row;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(table_->FetchByKey(check, "pk", "k" + std::to_string(i), &row));
+    EXPECT_TRUE(row.has_value()) << "k" << i;
+  }
+  ASSERT_OK(db_->Commit(check));
+  size_t keys = 0;
+  ASSERT_OK(tree_->Validate(&keys));
+  EXPECT_EQ(keys, 40u);
+}
+
+TEST_F(MediaRecoveryTest, RollForwardFromStartOfLogWorksToo) {
+  // Without a dump, a zeroed page can be rebuilt from the full log (the
+  // degenerate image copy: an empty page).
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(table_->Insert(txn, {"a" + std::to_string(i), "v"}));
+  }
+  ASSERT_OK(db_->Commit(txn));
+  ASSERT_OK(db_->FlushAllPages());
+  PageId victim = LeafOf("a5");
+  ASSERT_NE(victim, kInvalidPageId);
+
+  db_->pool()->DropAll();
+  size_t ps = db_->options().page_size;
+  std::fstream data(DataPath(), std::ios::binary | std::ios::in | std::ios::out);
+  std::string zeros(ps, '\0');
+  data.seekp(static_cast<std::streamoff>(victim) * static_cast<std::streamoff>(ps));
+  data.write(zeros.data(), static_cast<std::streamsize>(ps));
+  data.close();
+
+  ASSERT_OK(db_->recovery()->RollForwardPage(victim, kLogFilePrologue));
+  Transaction* check = db_->Begin();
+  std::optional<Row> row;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(table_->FetchByKey(check, "pk", "a" + std::to_string(i), &row));
+    EXPECT_TRUE(row.has_value()) << "a" << i;
+  }
+  ASSERT_OK(db_->Commit(check));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,147 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ariesim {
+namespace {
+
+constexpr size_t kPage = 512;
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : buf_(kPage, '\0'), v_(buf_.data(), kPage) {
+    v_.Init(7, PageType::kBtreeLeaf, 3, 0);
+  }
+  std::string buf_;
+  PageView v_;
+};
+
+TEST_F(PageTest, InitSetsHeader) {
+  EXPECT_EQ(v_.page_id(), 7u);
+  EXPECT_EQ(v_.type(), PageType::kBtreeLeaf);
+  EXPECT_EQ(v_.owner_id(), 3u);
+  EXPECT_EQ(v_.level(), 0);
+  EXPECT_EQ(v_.slot_count(), 0);
+  EXPECT_EQ(v_.page_lsn(), kNullLsn);
+  EXPECT_EQ(v_.next_page(), kInvalidPageId);
+  EXPECT_EQ(v_.prev_page(), kInvalidPageId);
+  EXPECT_FALSE(v_.sm_bit());
+  EXPECT_FALSE(v_.delete_bit());
+}
+
+TEST_F(PageTest, FlagBits) {
+  v_.set_sm_bit(true);
+  EXPECT_TRUE(v_.sm_bit());
+  EXPECT_FALSE(v_.delete_bit());
+  v_.set_delete_bit(true);
+  EXPECT_TRUE(v_.sm_bit());
+  EXPECT_TRUE(v_.delete_bit());
+  v_.set_sm_bit(false);
+  EXPECT_FALSE(v_.sm_bit());
+  EXPECT_TRUE(v_.delete_bit());
+}
+
+TEST_F(PageTest, InsertCellSortedDiscipline) {
+  ASSERT_TRUE(v_.InsertCellAt(0, "bb").ok());
+  ASSERT_TRUE(v_.InsertCellAt(1, "dd").ok());
+  ASSERT_TRUE(v_.InsertCellAt(1, "cc").ok());  // shifts dd right
+  ASSERT_TRUE(v_.InsertCellAt(0, "aa").ok());
+  ASSERT_EQ(v_.slot_count(), 4);
+  EXPECT_EQ(v_.Cell(0), "aa");
+  EXPECT_EQ(v_.Cell(1), "bb");
+  EXPECT_EQ(v_.Cell(2), "cc");
+  EXPECT_EQ(v_.Cell(3), "dd");
+}
+
+TEST_F(PageTest, RemoveCellShiftsSlots) {
+  ASSERT_TRUE(v_.InsertCellAt(0, "aa").ok());
+  ASSERT_TRUE(v_.InsertCellAt(1, "bb").ok());
+  ASSERT_TRUE(v_.InsertCellAt(2, "cc").ok());
+  v_.RemoveCellAt(1);
+  ASSERT_EQ(v_.slot_count(), 2);
+  EXPECT_EQ(v_.Cell(0), "aa");
+  EXPECT_EQ(v_.Cell(1), "cc");
+}
+
+TEST_F(PageTest, FillUntilNoSpaceThenCompactAfterRemovals) {
+  std::string cell(40, 'x');
+  int inserted = 0;
+  while (v_.InsertCellAt(static_cast<uint16_t>(inserted), cell).ok()) {
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 5);
+  // Remove every other cell; the freed bytes are fragmented.
+  for (int i = inserted - 1; i >= 0; i -= 2) {
+    v_.RemoveCellAt(static_cast<uint16_t>(i));
+  }
+  // Now a fresh insert must succeed through compaction.
+  EXPECT_TRUE(v_.InsertCellAt(0, cell).ok());
+}
+
+TEST_F(PageTest, ReplaceCellGrowAndShrink) {
+  ASSERT_TRUE(v_.InsertCellAt(0, "short").ok());
+  ASSERT_TRUE(v_.ReplaceCellAt(0, "a-much-longer-cell-content").ok());
+  EXPECT_EQ(v_.Cell(0), "a-much-longer-cell-content");
+  ASSERT_TRUE(v_.ReplaceCellAt(0, "tiny").ok());
+  EXPECT_EQ(v_.Cell(0), "tiny");
+}
+
+TEST_F(PageTest, HeapAppendAndTombstone) {
+  v_.Init(7, PageType::kHeap, 3, 0);
+  auto s0 = v_.AppendCell("record-zero");
+  auto s1 = v_.AppendCell("record-one");
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s0.value(), 0);
+  EXPECT_EQ(s1.value(), 1);
+  v_.TombstoneSlot(0);
+  EXPECT_TRUE(v_.SlotTombstoned(0));
+  EXPECT_FALSE(v_.SlotDead(0));
+  // Bytes retained: revive restores the record.
+  v_.ReviveSlot(0);
+  EXPECT_FALSE(v_.SlotTombstoned(0));
+  EXPECT_EQ(v_.Cell(0), "record-zero");
+}
+
+TEST_F(PageTest, TombstoneSurvivesCompaction) {
+  v_.Init(7, PageType::kHeap, 3, 0);
+  ASSERT_TRUE(v_.AppendCell(std::string(50, 'a')).ok());
+  ASSERT_TRUE(v_.AppendCell(std::string(50, 'b')).ok());
+  ASSERT_TRUE(v_.AppendCell(std::string(50, 'c')).ok());
+  v_.TombstoneSlot(1);
+  v_.PurgeSlot(2);  // purged bytes are reclaimable
+  v_.Compact();
+  EXPECT_TRUE(v_.SlotTombstoned(1));
+  EXPECT_EQ(v_.Cell(1), std::string(50, 'b'));
+  EXPECT_TRUE(v_.SlotDead(2));
+  EXPECT_EQ(v_.Cell(0), std::string(50, 'a'));
+}
+
+TEST_F(PageTest, PurgedSlotReusableViaPlaceCellAt) {
+  v_.Init(7, PageType::kHeap, 3, 0);
+  ASSERT_TRUE(v_.AppendCell("old").ok());
+  v_.PurgeSlot(0);
+  ASSERT_TRUE(v_.PlaceCellAt(0, "new").ok());
+  EXPECT_EQ(v_.Cell(0), "new");
+  EXPECT_FALSE(v_.SlotDead(0));
+}
+
+TEST_F(PageTest, FreeSpaceAccounting) {
+  size_t before = v_.FreeSpaceForNewCell();
+  ASSERT_TRUE(v_.InsertCellAt(0, std::string(100, 'x')).ok());
+  size_t after = v_.FreeSpaceForNewCell();
+  EXPECT_EQ(before - after, 100 + kSlotSize);
+  v_.RemoveCellAt(0);
+  EXPECT_EQ(v_.FreeSpaceForNewCell(), before);
+}
+
+TEST_F(PageTest, NoSpaceReported) {
+  std::string big(kPage, 'x');  // larger than any page can hold
+  EXPECT_TRUE(v_.InsertCellAt(0, big).IsNoSpace());
+}
+
+}  // namespace
+}  // namespace ariesim

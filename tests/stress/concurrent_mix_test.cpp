@@ -1,0 +1,244 @@
+// Multi-threaded stress: concurrent fetch/insert/delete/scan transactions
+// against one table with a unique and a nonunique index. Invariants checked
+// after the storm:
+//  - every committed transaction's effects are present, every aborted one's
+//    absent (reference model kept under a mutex);
+//  - the tree validates structurally;
+//  - heap and index agree.
+// Parameterized over locking protocol so all three run the same storm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "db/database.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ariesim {
+namespace {
+
+using testing::SmallPageOptions;
+using testing::TempDir;
+
+class ConcurrentMixTest
+    : public ::testing::TestWithParam<LockingProtocolKind> {};
+
+TEST_P(ConcurrentMixTest, MixedWorkloadKeepsInvariants) {
+  TempDir dir("mix");
+  Options opts = SmallPageOptions();
+  opts.index_locking = GetParam();
+  auto db = std::move(Database::Open(dir.path(), opts)).value();
+  Table* table = db->CreateTable("t", 2).value();
+  ASSERT_TRUE(db->CreateIndex("t", "pk", 0, /*unique=*/true).ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kTxnsPerThread = 40;
+  constexpr int kKeySpace = 200;
+
+  // Committed reference state: key -> value.
+  std::mutex ref_mu;
+  std::map<std::string, std::string> reference;
+  std::atomic<uint64_t> commits{0}, aborts{0}, deadlocks{0};
+
+  auto worker = [&](int tid) {
+    Random rnd(1000 + static_cast<uint64_t>(tid));
+    for (int t = 0; t < kTxnsPerThread; ++t) {
+      Transaction* txn = db->Begin();
+      // Each transaction performs 1-4 operations, then commits or aborts.
+      int nops = static_cast<int>(rnd.Range(1, 4));
+      bool failed = false;
+      // Ordered last-writer-wins intents: an insert-then-delete of the same
+      // key within one transaction must net out to "absent".
+      std::map<std::string, std::optional<std::string>> intents;
+      for (int op = 0; op < nops && !failed; ++op) {
+        std::string key = "k" + rnd.Key(rnd.Uniform(kKeySpace), 4);
+        uint32_t dice = static_cast<uint32_t>(rnd.Uniform(100));
+        if (dice < 40) {  // fetch
+          std::optional<Row> row;
+          Status s = table->FetchByKey(txn, "pk", key, &row);
+          if (s.IsDeadlock()) {
+            failed = true;
+            deadlocks.fetch_add(1);
+          } else if (!s.ok()) {
+            ADD_FAILURE() << "fetch: " << s.ToString();
+            failed = true;
+          }
+        } else if (dice < 75) {  // insert
+          std::string value = "v" + std::to_string(tid) + "-" + std::to_string(t);
+          Status s = table->Insert(txn, {key, value});
+          if (s.ok()) {
+            intents[key] = value;
+          } else if (s.IsDeadlock()) {
+            failed = true;
+            deadlocks.fetch_add(1);
+          } else if (!s.IsDuplicate()) {
+            ADD_FAILURE() << "insert: " << s.ToString();
+            failed = true;
+          }
+        } else {  // delete (find via index first)
+          std::optional<Row> row;
+          Rid rid;
+          Status s = table->FetchByKey(txn, "pk", key, &row, &rid);
+          if (s.IsDeadlock()) {
+            failed = true;
+            deadlocks.fetch_add(1);
+            continue;
+          }
+          if (s.ok() && row.has_value()) {
+            s = table->Delete(txn, rid);
+            if (s.ok()) {
+              intents[key] = std::nullopt;
+            } else if (s.IsDeadlock()) {
+              failed = true;
+              deadlocks.fetch_add(1);
+            } else if (!s.IsNotFound()) {
+              ADD_FAILURE() << "delete: " << s.ToString();
+              failed = true;
+            }
+          }
+        }
+      }
+      if (failed || rnd.Percent(20)) {
+        Status s = db->Rollback(txn);
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        aborts.fetch_add(1);
+        continue;
+      }
+      // Commit and apply intents to the reference under one mutex hold.
+      // (The reference mutex is taken across commit to make the reference
+      // update atomic with the database commit order for these keys — the
+      // transactions' key sets may overlap only through locks that are
+      // still held here, so this is linearization-safe.)
+      std::lock_guard<std::mutex> lk(ref_mu);
+      Status s = db->Commit(txn);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      for (auto& [k, v] : intents) {
+        if (v.has_value()) {
+          reference[k] = *v;
+        } else {
+          reference.erase(k);
+        }
+      }
+      commits.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(commits.load(), 0u);
+  // Final state equals the reference.
+  BTree* tree = db->GetIndex("pk");
+  size_t keys = 0;
+  ASSERT_OK(tree->Validate(&keys));
+  EXPECT_EQ(keys, reference.size());
+
+  Transaction* check = db->Begin();
+  for (auto& [k, v] : reference) {
+    std::optional<Row> row;
+    ASSERT_OK(table->FetchByKey(check, "pk", k, &row));
+    ASSERT_TRUE(row.has_value()) << "committed key " << k << " missing";
+    EXPECT_EQ((*row)[1], v) << "wrong committed value for " << k;
+  }
+  ASSERT_OK(db->Commit(check));
+
+  // Heap and index agree on cardinality.
+  std::vector<std::pair<Rid, std::string>> rows;
+  ASSERT_OK(table->heap()->ScanAll(&rows));
+  EXPECT_EQ(rows.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ConcurrentMixTest,
+    ::testing::Values(LockingProtocolKind::kDataOnly,
+                      LockingProtocolKind::kIndexSpecific,
+                      LockingProtocolKind::kKeyValue),
+    [](const ::testing::TestParamInfo<LockingProtocolKind>& info) {
+      switch (info.param) {
+        case LockingProtocolKind::kDataOnly:
+          return "DataOnly";
+        case LockingProtocolKind::kIndexSpecific:
+          return "IndexSpecific";
+        case LockingProtocolKind::kKeyValue:
+          return "KVL";
+        default:
+          return "None";
+      }
+    });
+
+TEST(ConcurrentScanTest, ScansRunAgainstWriters) {
+  TempDir dir("scan_mix");
+  auto db = std::move(Database::Open(dir.path(), SmallPageOptions())).value();
+  Table* table = db->CreateTable("t", 2).value();
+  ASSERT_TRUE(db->CreateIndex("t", "pk", 0, true).ok());
+
+  // Seed.
+  {
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(table->Insert(txn, {"s" + Random(0).Key(i, 4), "seed"}));
+    }
+    ASSERT_OK(db->Commit(txn));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans_done{0}, writes_done{0}, scan_errors{0};
+  std::thread writer([&] {
+    Random rnd(9);
+    while (!stop.load()) {
+      Transaction* txn = db->Begin();
+      std::string key = "w" + rnd.Key(rnd.Uniform(1000), 4);
+      Status s = table->Insert(txn, {key, "w"});
+      if (s.ok() || s.IsDuplicate()) {
+        if (db->Commit(txn).ok()) writes_done.fetch_add(1);
+      } else {
+        (void)db->Rollback(txn);
+      }
+    }
+  });
+  std::thread scanner([&] {
+    while (!stop.load()) {
+      Transaction* txn = db->Begin();
+      TableScan scan(table, db->GetIndex("pk"));
+      Status s = scan.Open(txn, "s", FetchCond::kGe);
+      if (!s.ok()) {
+        scan_errors.fetch_add(1);
+        (void)db->Rollback(txn);
+        continue;
+      }
+      std::string prev;
+      int n = 0;
+      while (true) {
+        Row row;
+        Rid rid;
+        bool done = false;
+        s = scan.Next(txn, &row, &rid, &done);
+        if (!s.ok() || done) break;
+        if (!prev.empty() && row[0] <= prev) {
+          scan_errors.fetch_add(1);
+          break;
+        }
+        prev = row[0];
+        ++n;
+      }
+      (void)db->Commit(txn);
+      if (n > 0) scans_done.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  stop = true;
+  writer.join();
+  scanner.join();
+  EXPECT_GT(scans_done.load(), 0u);
+  EXPECT_GT(writes_done.load(), 0u);
+  EXPECT_EQ(scan_errors.load(), 0u) << "scans must always see ordered keys";
+  ASSERT_OK(db->GetIndex("pk")->Validate(nullptr));
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,66 @@
+// Shared test scaffolding: unique temp directories and common option sets.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace ariesim {
+namespace testing {
+
+/// Unique per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("ariesim_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Tiny pages force SMOs with small workloads; no fsync keeps tests fast
+/// (durability boundaries are still exercised — SimulateCrash discards
+/// exactly the unflushed tail either way).
+inline Options SmallPageOptions() {
+  Options o;
+  o.page_size = 512;
+  o.buffer_pool_frames = 512;
+  o.fsync_log = false;
+  return o;
+}
+
+inline Options DefaultOptions() {
+  Options o;
+  o.buffer_pool_frames = 512;
+  o.fsync_log = false;
+  return o;
+}
+
+#define ASSERT_OK(expr)                                       \
+  do {                                                        \
+    ::ariesim::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();    \
+  } while (0)
+
+#define EXPECT_OK(expr)                                       \
+  do {                                                        \
+    ::ariesim::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();    \
+  } while (0)
+
+}  // namespace testing
+}  // namespace ariesim

@@ -1,0 +1,69 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesim {
+namespace {
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  ASSERT_EQ(buf.size(), 14u);
+  EXPECT_EQ(DecodeFixed16(buf.data()), 0xBEEF);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 6), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, EncodeInPlace) {
+  char buf[8] = {0};
+  EncodeFixed32(buf, 77);
+  EXPECT_EQ(DecodeFixed32(buf), 77u);
+  EncodeFixed64(buf, 1ull << 40);
+  EXPECT_EQ(DecodeFixed64(buf), 1ull << 40);
+}
+
+TEST(CodingTest, LengthPrefixed) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  BufferReader r(buf);
+  EXPECT_EQ(r.GetLengthPrefixed(), "hello");
+  EXPECT_EQ(r.GetLengthPrefixed(), "");
+  EXPECT_EQ(r.GetLengthPrefixed().size(), 1000u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(CodingTest, ReaderSequence) {
+  std::string buf;
+  PutFixed16(&buf, 1);
+  PutFixed32(&buf, 2);
+  PutFixed64(&buf, 3);
+  BufferReader r(buf);
+  EXPECT_EQ(r.GetFixed16(), 1);
+  EXPECT_EQ(r.GetFixed32(), 2u);
+  EXPECT_EQ(r.GetFixed64(), 3u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CodingTest, ReaderUnderflowSetsError) {
+  std::string buf;
+  PutFixed16(&buf, 9);
+  BufferReader r(buf);
+  (void)r.GetFixed64();  // too big
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodingTest, ReaderTruncatedLengthPrefix) {
+  std::string buf;
+  PutFixed32(&buf, 100);  // claims 100 bytes, provides none
+  BufferReader r(buf);
+  (void)r.GetLengthPrefixed();
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace ariesim

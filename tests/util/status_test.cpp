@@ -1,0 +1,72 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesim {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_NE(s.ToString().find("missing key"), std::string::npos);
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  EXPECT_TRUE(Status::Duplicate().IsDuplicate());
+  EXPECT_FALSE(Status::Duplicate().IsNotFound());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Deadlock().IsDeadlock());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::NoSpace().IsNoSpace());
+  EXPECT_TRUE(Status::Retry().IsRetry());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kIOError);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Status Helper(bool fail) {
+  ARIES_RETURN_NOT_OK(fail ? Status::Busy() : Status::OK());
+  return Status::OK();
+}
+
+Result<int> HelperAssign(bool fail) {
+  ARIES_ASSIGN_OR_RETURN(
+      int v, (fail ? Result<int>(Status::Busy()) : Result<int>(5)));
+  return v + 1;
+}
+
+TEST(StatusTest, Macros) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_TRUE(Helper(true).IsBusy());
+  EXPECT_EQ(HelperAssign(false).value(), 6);
+  EXPECT_TRUE(HelperAssign(true).status().IsBusy());
+}
+
+}  // namespace
+}  // namespace ariesim

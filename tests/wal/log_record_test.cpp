@@ -1,0 +1,120 @@
+#include "wal/log_record.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesim {
+namespace {
+
+LogRecord MakeUpdate() {
+  LogRecord rec;
+  rec.type = LogType::kUpdate;
+  rec.rm = RmId::kBtree;
+  rec.op = 5;
+  rec.txn_id = 42;
+  rec.prev_lsn = 1000;
+  rec.page_id = 17;
+  rec.payload = "payload-bytes";
+  return rec;
+}
+
+TEST(LogRecordTest, SerializeParseRoundTrip) {
+  LogRecord rec = MakeUpdate();
+  std::string buf;
+  rec.AppendTo(&buf);
+  ASSERT_EQ(buf.size(), rec.SerializedSize());
+
+  LogRecord parsed;
+  ASSERT_TRUE(LogRecord::Parse(buf, &parsed).ok());
+  EXPECT_EQ(parsed.type, rec.type);
+  EXPECT_EQ(parsed.rm, rec.rm);
+  EXPECT_EQ(parsed.op, rec.op);
+  EXPECT_EQ(parsed.txn_id, rec.txn_id);
+  EXPECT_EQ(parsed.prev_lsn, rec.prev_lsn);
+  EXPECT_EQ(parsed.page_id, rec.page_id);
+  EXPECT_EQ(parsed.payload, rec.payload);
+}
+
+TEST(LogRecordTest, ClrCarriesUndoNext) {
+  LogRecord rec = MakeUpdate();
+  rec.type = LogType::kCompensation;
+  rec.undo_next_lsn = 555;
+  std::string buf;
+  rec.AppendTo(&buf);
+  LogRecord parsed;
+  ASSERT_TRUE(LogRecord::Parse(buf, &parsed).ok());
+  EXPECT_TRUE(parsed.IsClr());
+  EXPECT_EQ(parsed.undo_next_lsn, 555u);
+}
+
+TEST(LogRecordTest, CorruptionDetected) {
+  LogRecord rec = MakeUpdate();
+  std::string buf;
+  rec.AppendTo(&buf);
+  buf[buf.size() / 2] ^= 0x40;  // flip a payload bit
+  LogRecord parsed;
+  EXPECT_EQ(LogRecord::Parse(buf, &parsed).code(), Code::kCorruption);
+}
+
+TEST(LogRecordTest, TruncationDetected) {
+  LogRecord rec = MakeUpdate();
+  std::string buf;
+  rec.AppendTo(&buf);
+  LogRecord parsed;
+  EXPECT_FALSE(
+      LogRecord::Parse(std::string_view(buf).substr(0, buf.size() - 3), &parsed)
+          .ok());
+  EXPECT_FALSE(LogRecord::Parse(std::string_view(buf).substr(0, 10), &parsed).ok());
+}
+
+TEST(LogRecordTest, Classification) {
+  LogRecord upd = MakeUpdate();
+  EXPECT_TRUE(upd.IsRedoable());
+  EXPECT_TRUE(upd.IsUndoable());
+  EXPECT_FALSE(upd.IsClr());
+
+  LogRecord clr = MakeUpdate();
+  clr.type = LogType::kCompensation;
+  EXPECT_TRUE(clr.IsRedoable());
+  EXPECT_FALSE(clr.IsUndoable());
+
+  LogRecord dummy;
+  dummy.type = LogType::kCompensation;
+  dummy.rm = RmId::kNone;
+  EXPECT_TRUE(dummy.IsDummyClr());
+  EXPECT_FALSE(dummy.IsRedoable());
+
+  LogRecord commit;
+  commit.type = LogType::kCommit;
+  EXPECT_FALSE(commit.IsRedoable());
+  EXPECT_FALSE(commit.IsUndoable());
+}
+
+TEST(LogRecordTest, EmptyPayload) {
+  LogRecord rec;
+  rec.type = LogType::kCommit;
+  std::string buf;
+  rec.AppendTo(&buf);
+  EXPECT_EQ(buf.size(), kLogHeaderSize);
+  LogRecord parsed;
+  ASSERT_TRUE(LogRecord::Parse(buf, &parsed).ok());
+  EXPECT_TRUE(parsed.payload.empty());
+}
+
+TEST(LogRecordTest, BackToBackRecordsParseSequentially) {
+  LogRecord a = MakeUpdate();
+  LogRecord b = MakeUpdate();
+  b.payload = "second";
+  std::string buf;
+  a.AppendTo(&buf);
+  size_t second_off = buf.size();
+  b.AppendTo(&buf);
+  LogRecord pa, pb;
+  ASSERT_TRUE(LogRecord::Parse(buf, &pa).ok());
+  ASSERT_TRUE(
+      LogRecord::Parse(std::string_view(buf).substr(second_off), &pb).ok());
+  EXPECT_EQ(pa.payload, "payload-bytes");
+  EXPECT_EQ(pb.payload, "second");
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,125 @@
+// Repro driver for the concurrent mixed workload with a watchdog that dumps
+// lock-manager state if progress stalls.
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "util/random.h"
+
+using namespace ariesim;
+
+namespace {
+void DumpBacktrace(int) {
+  void* frames[48];
+  int n = backtrace(frames, 48);
+  backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  ::write(STDERR_FILENO, "----\n", 5);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 1;
+  int proto_i = argc > 2 ? std::atoi(argv[2]) : 0;
+  std::string dir = "/tmp/ariesim_mix";
+  std::filesystem::remove_all(dir);
+  Options o;
+  o.page_size = 512;
+  o.buffer_pool_frames = 512;
+  o.fsync_log = false;
+  o.index_locking = static_cast<LockingProtocolKind>(proto_i);
+  auto db = std::move(Database::Open(dir, o).value());
+  db->pool()->SetParanoid(true);
+  Table* table = db->CreateTable("t", 2).value();
+  db->CreateIndex("t", "pk", 0, true).value();
+
+  constexpr int kThreads = 6;
+  constexpr int kTxnsPerThread = 40;
+  constexpr int kKeySpace = 200;
+  std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> progress{0};
+
+  signal(SIGUSR1, DumpBacktrace);
+  std::vector<std::thread> ts;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    ts.emplace_back([&, tid] {
+      Random rnd(seed * 1000 + tid);
+      for (int t = 0; t < kTxnsPerThread; ++t) {
+        progress.fetch_add(1);
+        Transaction* txn = db->Begin();
+        bool failed = false;
+        int nops = static_cast<int>(rnd.Range(1, 4));
+        for (int op = 0; op < nops && !failed; ++op) {
+          std::string key = "k" + rnd.Key(rnd.Uniform(kKeySpace), 4);
+          uint32_t dice = static_cast<uint32_t>(rnd.Uniform(100));
+          if (dice < 40) {
+            std::optional<Row> row;
+            Status s = table->FetchByKey(txn, "pk", key, &row);
+            if (!s.ok()) failed = true;
+          } else if (dice < 75) {
+            Status s = table->Insert(txn, {key, "v"});
+            if (!s.ok() && !s.IsDuplicate()) failed = true;
+          } else {
+            std::optional<Row> row;
+            Rid rid;
+            Status s = table->FetchByKey(txn, "pk", key, &row, &rid);
+            if (s.ok() && row.has_value()) {
+              s = table->Delete(txn, rid);
+              if (!s.ok() && !s.IsNotFound()) failed = true;
+            } else if (!s.ok()) {
+              failed = true;
+            }
+          }
+        }
+        if (failed || rnd.Percent(20)) {
+          Status rs = db->Rollback(txn);
+          if (!rs.ok()) {
+            std::fprintf(stderr, "ROLLBACK FAILED txn %lu: %s\n",
+                         (unsigned long)txn->id(), rs.ToString().c_str());
+          }
+        } else {
+          Status cs = db->Commit(txn);
+          if (!cs.ok()) {
+            std::fprintf(stderr, "COMMIT FAILED txn %lu: %s\n",
+                         (unsigned long)txn->id(), cs.ToString().c_str());
+          }
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  // Watchdog.
+  uint64_t last = 0;
+  int stalls = 0;
+  while (done.load() < kThreads) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    uint64_t now = progress.load();
+    if (now == last) {
+      if (++stalls >= 6) {
+        std::fprintf(stderr, "STALLED. Lock state:\n%s\n",
+                     db->locks()->DumpState().c_str());
+        for (auto& t : ts) {
+          pthread_kill(t.native_handle(), SIGUSR1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+        std::_Exit(3);
+      }
+    } else {
+      stalls = 0;
+      last = now;
+    }
+  }
+  for (auto& t : ts) t.join();
+  size_t keys = 0;
+  Status vs = db->GetIndex("pk")->Validate(&keys);
+  std::printf("seed %lu proto %d: %s keys=%zu\n", (unsigned long)seed, proto_i,
+              vs.ToString().c_str(), keys);
+  return vs.ok() ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Debug driver: reproduce the SMO-storm corruption and dump diagnostics.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "util/random.h"
+
+using namespace ariesim;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 1;
+  std::string dir = "/tmp/ariesim_storm";
+  std::filesystem::remove_all(dir);
+  Options o;
+  o.page_size = 512;
+  o.buffer_pool_frames = 512;
+  o.fsync_log = false;
+  auto db = std::move(Database::Open(dir, o).value());
+  db->pool()->SetParanoid(true);
+  db->CreateTable("t", 1).value();
+  BTree* tree = db->CreateIndex("t", "ix", 0, false).value();
+
+  constexpr int kWriters = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> lost{0};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Random rnd(seed * 1000 + 123 + static_cast<uint64_t>(w));
+      std::vector<std::pair<std::string, Rid>> mine;
+      while (!stop.load()) {
+        Transaction* txn = db->Begin();
+        for (int i = 0; i < 10; ++i) {
+          if (mine.size() < 50 || rnd.Percent(55)) {
+            std::string k =
+                "w" + std::to_string(w) + "-" + rnd.Key(rnd.Uniform(100000), 6);
+            Rid r{static_cast<PageId>(10000 + w),
+                  static_cast<uint16_t>(mine.size() % 1000)};
+            Status s = tree->Insert(txn, k, r);
+            if (s.ok()) mine.emplace_back(k, r);
+            else if (!s.IsDuplicate())
+              std::fprintf(stderr, "insert fail: %s\n", s.ToString().c_str());
+          } else {
+            auto [k, r] = mine.back();
+            Status s = tree->Delete(txn, k, r);
+            if (s.ok()) mine.pop_back();
+            else {
+              lost.fetch_add(1);
+              std::fprintf(stderr, "LOST KEY %s %s: %s\n", k.c_str(),
+                           r.ToString().c_str(), s.ToString().c_str());
+              mine.pop_back();
+            }
+          }
+        }
+        (void)db->Commit(txn);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop = true;
+  for (auto& t : threads) t.join();
+  size_t keys = 0;
+  Status vs = tree->Validate(&keys);
+  std::printf("validate: %s keys=%zu lost=%lu splits=%lu pagedel=%lu\n",
+              vs.ToString().c_str(), keys,
+              (unsigned long)lost.load(),
+              (unsigned long)db->metrics().smo_splits.load(),
+              (unsigned long)db->metrics().smo_page_deletes.load());
+  return vs.ok() && lost.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// WAL dump utility: prints every log record, decoding btree/heap/meta ops.
+//   wal_dump <db-dir> [page-id-filter]
+#include <cstdio>
+#include <string>
+
+#include "btree/node.h"
+#include "common/metrics.h"
+#include "record/heap_page.h"
+#include "wal/log_manager.h"
+
+using namespace ariesim;
+
+static const char* BtOpName(uint8_t op) {
+  static const char* kNames[] = {"?",        "insert_key", "delete_key",
+                                 "format",   "unformat",   "truncate",
+                                 "restore",  "set_next",   "set_prev",
+                                 "splice",   "unsplice",   "parent_rm",
+                                 "parent_rs", "replace_all", "to_free",
+                                 "from_free"};
+  return op <= 15 ? kNames[op] : "??";
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: wal_dump <db-dir> [page-id]\n");
+    return 1;
+  }
+  Metrics m;
+  LogManager lm(std::string(argv[1]) + "/wal.log", &m, false);
+  if (!lm.Open().ok()) return 1;
+  PageId filter = argc > 2 ? static_cast<PageId>(std::stoul(argv[2]))
+                           : kInvalidPageId;
+  LogManager::Reader reader(&lm, kLogFilePrologue);
+  LogRecord rec;
+  while (reader.Next(&rec).ok()) {
+    if (filter != kInvalidPageId && rec.page_id != filter) continue;
+    std::string extra;
+    if (rec.rm == RmId::kBtree) {
+      extra = std::string(" bt:") + BtOpName(rec.op);
+      if (rec.op == bt::kOpInsertKey || rec.op == bt::kOpDeleteKey) {
+        std::string_view value;
+        Rid rid;
+        bt::DecodeKeyOp(rec.payload, nullptr, &value, &rid, nullptr);
+        extra += " key='" + std::string(value) + "' rid=" + rid.ToString();
+      } else if (rec.op == bt::kOpFormat) {
+        BufferReader r(rec.payload);
+        (void)r.GetFixed32();
+        uint8_t type = r.GetFixed8();
+        uint8_t level = r.GetFixed8();
+        (void)r.GetFixed8();
+        PageId prev = r.GetFixed32();
+        PageId next = r.GetFixed32();
+        uint16_t n = r.GetFixed16();
+        extra += " type=" + std::to_string(type) + " lvl=" +
+                 std::to_string(level) + " prev=" + std::to_string(prev) +
+                 " next=" + std::to_string(next) + " cells[";
+        for (uint16_t i = 0; i < n; ++i) {
+          std::string_view cell = r.GetLengthPrefixed();
+          if (level == 0 && type == 3) {
+            bt::LeafEntry e = bt::DecodeLeafCell(cell);
+            extra += std::string(e.value) + ",";
+          } else {
+            bt::InternalEntry e = bt::DecodeInternalCell(cell);
+            extra += (e.inf ? std::string("INF") : std::string(e.value)) +
+                     "->" + std::to_string(e.child) + ",";
+          }
+        }
+        extra += "]";
+      } else if (rec.op == bt::kOpTruncate) {
+        BufferReader r(rec.payload);
+        (void)r.GetFixed32();
+        uint16_t from = r.GetFixed16();
+        PageId old_next = r.GetFixed32();
+        PageId new_next = r.GetFixed32();
+        bool replace_last = r.GetFixed8() != 0;
+        (void)r.GetLengthPrefixed();
+        std::string_view new_last = r.GetLengthPrefixed();
+        uint16_t n = r.GetFixed16();
+        extra += " from=" + std::to_string(from) +
+                 " old_next=" + std::to_string(old_next) +
+                 " new_next=" + std::to_string(new_next) + " removed=" +
+                 std::to_string(n);
+        if (replace_last) {
+          bt::InternalEntry e = bt::DecodeInternalCell(new_last);
+          extra += " new_last=" + (e.inf ? std::string("INF")
+                                         : std::string(e.value)) +
+                   "->" + std::to_string(e.child);
+        }
+        extra += " removed_cells[";
+        for (uint16_t i = 0; i < n; ++i) {
+          std::string_view cell = r.GetLengthPrefixed();
+          // Heuristic: internal cells end with a child id; leaf cells do
+          // not. Print leaf decode (value only) which is safe for both.
+          bt::LeafEntry e = bt::DecodeLeafCell(cell);
+          extra += std::string(e.value) + ",";
+        }
+        extra += "]";
+      } else if (rec.op == bt::kOpParentSplice) {
+        BufferReader r(rec.payload);
+        (void)r.GetFixed32();
+        uint16_t slot = r.GetFixed16();
+        (void)r.GetLengthPrefixed();
+        bt::InternalEntry ne = bt::DecodeInternalCell(r.GetLengthPrefixed());
+        bt::InternalEntry ie = bt::DecodeInternalCell(r.GetLengthPrefixed());
+        extra += " slot=" + std::to_string(slot) + " new=" +
+                 (ne.inf ? "INF" : std::string(ne.value)) + "->" +
+                 std::to_string(ne.child) + " ins=" +
+                 (ie.inf ? "INF" : std::string(ie.value)) + "->" +
+                 std::to_string(ie.child);
+      }
+    }
+    std::printf("%s%s\n", rec.ToString().c_str(), extra.c_str());
+  }
+  return 0;
+}
