@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_counts.dir/bench_lock_counts.cpp.o"
+  "CMakeFiles/bench_lock_counts.dir/bench_lock_counts.cpp.o.d"
+  "bench_lock_counts"
+  "bench_lock_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smo_concurrency.dir/bench_smo_concurrency.cpp.o"
+  "CMakeFiles/bench_smo_concurrency.dir/bench_smo_concurrency.cpp.o.d"
+  "bench_smo_concurrency"
+  "bench_smo_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smo_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

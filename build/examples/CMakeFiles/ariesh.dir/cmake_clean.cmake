@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariesh.dir/__/tools/ariesh.cpp.o"
+  "CMakeFiles/ariesh.dir/__/tools/ariesh.cpp.o.d"
+  "ariesh"
+  "ariesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_hammer.dir/__/tools/bp_hammer.cpp.o"
+  "CMakeFiles/bp_hammer.dir/__/tools/bp_hammer.cpp.o.d"
+  "bp_hammer"
+  "bp_hammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_hammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_repro.dir/__/tools/mix_repro.cpp.o"
+  "CMakeFiles/mix_repro.dir/__/tools/mix_repro.cpp.o.d"
+  "mix_repro"
+  "mix_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

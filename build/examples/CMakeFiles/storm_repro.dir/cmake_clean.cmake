@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_repro.dir/__/tools/storm_repro.cpp.o"
+  "CMakeFiles/storm_repro.dir/__/tools/storm_repro.cpp.o.d"
+  "storm_repro"
+  "storm_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cpp" "src/CMakeFiles/ariesim.dir/btree/btree.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/btree/btree.cpp.o.d"
+  "/root/repo/src/btree/cursor.cpp" "src/CMakeFiles/ariesim.dir/btree/cursor.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/btree/cursor.cpp.o.d"
+  "/root/repo/src/btree/locking_protocol.cpp" "src/CMakeFiles/ariesim.dir/btree/locking_protocol.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/btree/locking_protocol.cpp.o.d"
+  "/root/repo/src/btree/node.cpp" "src/CMakeFiles/ariesim.dir/btree/node.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/btree/node.cpp.o.d"
+  "/root/repo/src/btree/smo.cpp" "src/CMakeFiles/ariesim.dir/btree/smo.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/btree/smo.cpp.o.d"
+  "/root/repo/src/btree/undo.cpp" "src/CMakeFiles/ariesim.dir/btree/undo.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/btree/undo.cpp.o.d"
+  "/root/repo/src/buffer/buffer_pool.cpp" "src/CMakeFiles/ariesim.dir/buffer/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/buffer/buffer_pool.cpp.o.d"
+  "/root/repo/src/db/catalog.cpp" "src/CMakeFiles/ariesim.dir/db/catalog.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/db/catalog.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/CMakeFiles/ariesim.dir/db/database.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/db/database.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/CMakeFiles/ariesim.dir/db/table.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/db/table.cpp.o.d"
+  "/root/repo/src/kvl/kvl_protocol.cpp" "src/CMakeFiles/ariesim.dir/kvl/kvl_protocol.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/kvl/kvl_protocol.cpp.o.d"
+  "/root/repo/src/lock/lock_manager.cpp" "src/CMakeFiles/ariesim.dir/lock/lock_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/lock/lock_manager.cpp.o.d"
+  "/root/repo/src/record/heap_file.cpp" "src/CMakeFiles/ariesim.dir/record/heap_file.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/record/heap_file.cpp.o.d"
+  "/root/repo/src/record/heap_page.cpp" "src/CMakeFiles/ariesim.dir/record/heap_page.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/record/heap_page.cpp.o.d"
+  "/root/repo/src/record/record_manager.cpp" "src/CMakeFiles/ariesim.dir/record/record_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/record/record_manager.cpp.o.d"
+  "/root/repo/src/recovery/recovery_manager.cpp" "src/CMakeFiles/ariesim.dir/recovery/recovery_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/recovery/recovery_manager.cpp.o.d"
+  "/root/repo/src/storage/disk_manager.cpp" "src/CMakeFiles/ariesim.dir/storage/disk_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/storage/disk_manager.cpp.o.d"
+  "/root/repo/src/storage/page.cpp" "src/CMakeFiles/ariesim.dir/storage/page.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/storage/page.cpp.o.d"
+  "/root/repo/src/storage/space_manager.cpp" "src/CMakeFiles/ariesim.dir/storage/space_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/storage/space_manager.cpp.o.d"
+  "/root/repo/src/txn/transaction.cpp" "src/CMakeFiles/ariesim.dir/txn/transaction.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/txn/transaction.cpp.o.d"
+  "/root/repo/src/txn/transaction_manager.cpp" "src/CMakeFiles/ariesim.dir/txn/transaction_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/txn/transaction_manager.cpp.o.d"
+  "/root/repo/src/util/coding.cpp" "src/CMakeFiles/ariesim.dir/util/coding.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/util/coding.cpp.o.d"
+  "/root/repo/src/util/crc32c.cpp" "src/CMakeFiles/ariesim.dir/util/crc32c.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/util/crc32c.cpp.o.d"
+  "/root/repo/src/util/rwlatch.cpp" "src/CMakeFiles/ariesim.dir/util/rwlatch.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/util/rwlatch.cpp.o.d"
+  "/root/repo/src/wal/log_manager.cpp" "src/CMakeFiles/ariesim.dir/wal/log_manager.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/wal/log_manager.cpp.o.d"
+  "/root/repo/src/wal/log_record.cpp" "src/CMakeFiles/ariesim.dir/wal/log_record.cpp.o" "gcc" "src/CMakeFiles/ariesim.dir/wal/log_record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ariesim.
+# This may be replaced when dependencies are built.

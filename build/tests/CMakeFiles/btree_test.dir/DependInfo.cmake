@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree/btree_basic_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/btree_basic_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/btree_basic_test.cpp.o.d"
+  "/root/repo/tests/btree/btree_smo_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/btree_smo_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/btree_smo_test.cpp.o.d"
+  "/root/repo/tests/btree/cursor_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/cursor_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/cursor_test.cpp.o.d"
+  "/root/repo/tests/btree/delete_bit_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/delete_bit_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/delete_bit_test.cpp.o.d"
+  "/root/repo/tests/btree/locking_matrix_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/locking_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/locking_matrix_test.cpp.o.d"
+  "/root/repo/tests/btree/logical_undo_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/logical_undo_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/logical_undo_test.cpp.o.d"
+  "/root/repo/tests/btree/node_ops_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/node_ops_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/node_ops_test.cpp.o.d"
+  "/root/repo/tests/btree/page_size_sweep_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/page_size_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/page_size_sweep_test.cpp.o.d"
+  "/root/repo/tests/btree/phantom_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/phantom_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/phantom_test.cpp.o.d"
+  "/root/repo/tests/btree/serializability_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/serializability_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/serializability_test.cpp.o.d"
+  "/root/repo/tests/btree/smo_interaction_test.cpp" "tests/CMakeFiles/btree_test.dir/btree/smo_interaction_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree/smo_interaction_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ariesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_test.dir/btree/btree_basic_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/btree_basic_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/btree_smo_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/btree_smo_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/cursor_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/cursor_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/delete_bit_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/delete_bit_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/locking_matrix_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/locking_matrix_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/logical_undo_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/logical_undo_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/node_ops_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/node_ops_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/page_size_sweep_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/page_size_sweep_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/phantom_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/phantom_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/serializability_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/serializability_test.cpp.o.d"
+  "CMakeFiles/btree_test.dir/btree/smo_interaction_test.cpp.o"
+  "CMakeFiles/btree_test.dir/btree/smo_interaction_test.cpp.o.d"
+  "btree_test"
+  "btree_test.pdb"
+  "btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/database_test.cpp" "tests/CMakeFiles/db_test.dir/db/database_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/database_test.cpp.o.d"
+  "/root/repo/tests/db/shell_smoke_test.cpp" "tests/CMakeFiles/db_test.dir/db/shell_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/shell_smoke_test.cpp.o.d"
+  "/root/repo/tests/db/table_test.cpp" "tests/CMakeFiles/db_test.dir/db/table_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/table_test.cpp.o.d"
+  "/root/repo/tests/db/update_test.cpp" "tests/CMakeFiles/db_test.dir/db/update_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/update_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ariesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

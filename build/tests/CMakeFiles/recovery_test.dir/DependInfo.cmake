@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/recovery/checkpoint_test.cpp" "tests/CMakeFiles/recovery_test.dir/recovery/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/recovery/crash_test.cpp" "tests/CMakeFiles/recovery_test.dir/recovery/crash_test.cpp.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery/crash_test.cpp.o.d"
+  "/root/repo/tests/recovery/media_recovery_test.cpp" "tests/CMakeFiles/recovery_test.dir/recovery/media_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery/media_recovery_test.cpp.o.d"
+  "/root/repo/tests/recovery/nta_test.cpp" "tests/CMakeFiles/recovery_test.dir/recovery/nta_test.cpp.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery/nta_test.cpp.o.d"
+  "/root/repo/tests/recovery/recovery_basic_test.cpp" "tests/CMakeFiles/recovery_test.dir/recovery/recovery_basic_test.cpp.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery/recovery_basic_test.cpp.o.d"
+  "/root/repo/tests/recovery/repeated_crash_test.cpp" "tests/CMakeFiles/recovery_test.dir/recovery/repeated_crash_test.cpp.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery/repeated_crash_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ariesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress/concurrent_mix_test.cpp" "tests/CMakeFiles/stress_test.dir/stress/concurrent_mix_test.cpp.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress/concurrent_mix_test.cpp.o.d"
+  "/root/repo/tests/stress/crash_random_test.cpp" "tests/CMakeFiles/stress_test.dir/stress/crash_random_test.cpp.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress/crash_random_test.cpp.o.d"
+  "/root/repo/tests/stress/deadlock_test.cpp" "tests/CMakeFiles/stress_test.dir/stress/deadlock_test.cpp.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress/deadlock_test.cpp.o.d"
+  "/root/repo/tests/stress/granularity_test.cpp" "tests/CMakeFiles/stress_test.dir/stress/granularity_test.cpp.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress/granularity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ariesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
