@@ -151,6 +151,7 @@ Status BtreeResourceManager::Undo(Transaction* txn, const LogRecord& rec) {
   page.MarkDirty(lsn);
   if (ctx_->metrics != nullptr) {
     ctx_->metrics->page_oriented_undos.fetch_add(1, std::memory_order_relaxed);
+    ctx_->metrics->smo_structural_undos.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }

@@ -100,11 +100,15 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
     io_in_progress_.insert(id);
     bool victim_dirty = victim->dirty;
     PageId victim_old_id = victim->page_id;
-    if (victim_dirty) writing_back_.insert(victim_old_id);
+    if (victim_dirty) writing_back_.emplace(victim_old_id, victim->rec_lsn);
     lk.unlock();
 
     Status s;
-    if (victim_dirty) s = WriteFrame(victim);
+    bool victim_persisted = true;
+    if (victim_dirty) {
+      s = WriteFrame(victim);
+      victim_persisted = s.ok();
+    }
     if (s.ok()) {
       s = disk_->ReadPage(id, victim->data.get());
       if (s.ok() && verify_checksums_) {
@@ -129,9 +133,23 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
     if (victim_dirty) writing_back_.erase(victim_old_id);
     if (!s.ok()) {
       victim->pin_count = 0;
-      victim->page_id = kInvalidPageId;
-      victim->dirty = false;
-      free_frames_.push_back(victim);
+      if (!victim_persisted) {
+        // The dirty victim never reached disk, so this frame still holds the
+        // only current copy of the page. Put it back in the table instead of
+        // freeing the frame — freeing it would silently discard committed
+        // updates whose log prefix may not even be durable yet. No other
+        // thread can have reloaded the page meanwhile: its id sat in
+        // writing_back_ until this same critical section.
+        victim->page_id = victim_old_id;
+        page_table_[victim_old_id] = victim;
+        lru_.push_back(victim);
+        lru_pos_[victim] = std::prev(lru_.end());
+      } else {
+        victim->page_id = kInvalidPageId;
+        victim->dirty = false;
+        victim->rec_lsn = kNullLsn;
+        free_frames_.push_back(victim);
+      }
       io_cv_.notify_all();
       return s;
     }
@@ -186,12 +204,30 @@ void BufferPool::NoteDirty(Frame* frame, Lsn lsn) {
   }
 }
 
+void BufferPool::NoteDirtyById(PageId id, Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;  // caller will dirty it on apply
+  Frame* f = it->second;
+  if (!f->dirty) {
+    f->dirty = true;
+    f->rec_lsn = lsn;
+  }
+}
+
 Status BufferPool::WriteFrame(Frame* frame) {
   PageView v(frame->data.get(), page_size_);
   // WAL rule: the log must be durable up to the page's page_LSN.
   ARIES_RETURN_NOT_OK(log_->FlushTo(v.page_lsn()));
   uint32_t crc = crc32c::Value(frame->data.get() + 4, page_size_ - 4);
   v.set_checksum(crc32c::Mask(crc));
+  if (fault_ != nullptr) {
+    FaultAction a = fault_->OnIo(FaultSite::kEvictWrite, page_size_);
+    if (a.kind != FaultAction::Kind::kProceed) {
+      return Status::IOError("fault injection: write-back of page " +
+                             std::to_string(frame->page_id));
+    }
+  }
   ARIES_RETURN_NOT_OK(disk_->WritePage(frame->page_id, frame->data.get()));
   if (paranoid_) {
     std::lock_guard<std::mutex> plk(paranoid_mu_);
@@ -266,6 +302,27 @@ Status BufferPool::FlushAll() {
   return disk_->Sync();
 }
 
+Status BufferPool::DiscardPage(PageId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame* f = it->second;
+  if (f->pin_count > 0) {
+    return Status::Busy("cannot discard pinned page " + std::to_string(id));
+  }
+  page_table_.erase(it);
+  auto pos = lru_pos_.find(f);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  f->page_id = kInvalidPageId;
+  f->dirty = false;
+  f->rec_lsn = kNullLsn;
+  free_frames_.push_back(f);
+  return Status::OK();
+}
+
 void BufferPool::DropAll() {
   std::lock_guard<std::mutex> lk(mu_);
   page_table_.clear();
@@ -286,6 +343,14 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
   std::vector<std::pair<PageId, Lsn>> dpt;
   for (auto& [id, f] : page_table_) {
     if (f->dirty) dpt.emplace_back(id, f->rec_lsn);
+  }
+  // Evicted dirty frames whose write-back is still in flight are out of
+  // page_table_ but not yet durable; count them as dirty so a concurrent
+  // fuzzy checkpoint stays conservative. If the write-back succeeds the
+  // extra entry merely costs redo a few page_lsn checks; if it fails the
+  // entry is the only thing keeping the page's recLSN in the checkpoint.
+  for (auto& [id, rec_lsn] : writing_back_) {
+    dpt.emplace_back(id, rec_lsn);
   }
   return dpt;
 }

@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "util/fault_injector.h"
 #include "util/rwlatch.h"
 #include "wal/log_manager.h"
 
@@ -119,8 +120,25 @@ class BufferPool {
   /// Crash simulation: drop all frames without flushing.
   void DropAll();
 
+  /// Drop the cached frame for `id` without writing it back (kBusy if the
+  /// page is pinned). Used by recovery to discard a corrupt in-memory copy
+  /// before rebuilding the page from the log.
+  Status DiscardPage(PageId id);
+
+  /// Install a fault-injection hook consulted before each dirty write-back.
+  /// Pass nullptr to detach. The injector must outlive this BufferPool.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
   /// Snapshot of the dirty page table for fuzzy checkpoints.
   std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
+
+  /// LogManager's append observer: register `id` dirty with recLSN `lsn`
+  /// from inside the append critical section, before the caller applies the
+  /// record to the (latched, pinned) page. Closes the window where a record
+  /// ordered before a begin-checkpoint is missing from both the checkpoint
+  /// DPT and the analysis scan. No-op if the page is not resident.
+  void NoteDirtyById(PageId id, Lsn lsn);
+
 
   size_t page_size() const { return page_size_; }
 
@@ -139,6 +157,7 @@ class BufferPool {
   DiskManager* disk_;
   LogManager* log_;
   Metrics* metrics_;
+  FaultInjector* fault_ = nullptr;
   size_t page_size_;
   bool verify_checksums_;
 
@@ -149,9 +168,14 @@ class BufferPool {
   std::list<Frame*> lru_;  // front = coldest unpinned frame
   std::unordered_map<Frame*, std::list<Frame*>::iterator> lru_pos_;
   std::unordered_set<PageId> io_in_progress_;
-  /// Pages whose evicted dirty frame is still being written back; readers
-  /// must not reload them from disk until the write completes.
-  std::unordered_set<PageId> writing_back_;
+  /// Pages whose evicted dirty frame is still being written back, keyed to
+  /// the frame's rec_lsn. Readers must not reload them from disk until the
+  /// write completes, and DirtyPageTable() must still report them: the
+  /// write-back can fail (WAL-rule flush error, device fault), leaving the
+  /// re-inserted frame dirty — a fuzzy checkpoint taken during the window
+  /// would otherwise record a DPT missing the page, and restart redo would
+  /// skip every log record between its true recLSN and its next update.
+  std::unordered_map<PageId, Lsn> writing_back_;
   std::vector<Frame*> free_frames_;
   bool paranoid_ = false;
   std::mutex paranoid_mu_;

@@ -8,6 +8,7 @@
 namespace ariesim {
 
 class BufferPool;
+class DiskManager;
 class LogManager;
 class LockManager;
 class TransactionManager;
@@ -16,6 +17,7 @@ class RecoveryManager;
 
 struct EngineContext {
   BufferPool* pool = nullptr;
+  DiskManager* disk = nullptr;
   LogManager* log = nullptr;
   LockManager* locks = nullptr;
   TransactionManager* txns = nullptr;

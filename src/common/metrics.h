@@ -39,11 +39,17 @@ struct Metrics {
   // Undo paths (paper §3 "Undo Processing").
   std::atomic<uint64_t> page_oriented_undos{0};
   std::atomic<uint64_t> logical_undos{0};
+  /// Structural records of an incomplete SMO physically inverted during
+  /// undo — nonzero exactly when a crash landed inside a nested top action.
+  std::atomic<uint64_t> smo_structural_undos{0};
 
   // Recovery passes.
   std::atomic<uint64_t> redo_records_applied{0};
   std::atomic<uint64_t> redo_records_skipped{0};
   std::atomic<uint64_t> undo_records{0};
+  /// Pages whose on-disk image failed its CRC at restart and were rebuilt
+  /// from the log (torn-write repair).
+  std::atomic<uint64_t> torn_pages_repaired{0};
 
   void Reset() {
     auto z = [](std::atomic<uint64_t>& a) { a.store(0, std::memory_order_relaxed); };
@@ -52,7 +58,8 @@ struct Metrics {
     z(tree_latch_waits); z(pages_read); z(pages_written); z(log_flushes);
     z(log_records); z(log_bytes); z(smo_splits); z(smo_page_deletes);
     z(traversal_restarts); z(smo_waits); z(page_oriented_undos); z(logical_undos);
-    z(redo_records_applied); z(redo_records_skipped); z(undo_records);
+    z(smo_structural_undos); z(redo_records_applied); z(redo_records_skipped);
+    z(undo_records); z(torn_pages_repaired);
   }
 
   std::string ToString() const {

@@ -1,7 +1,12 @@
 #include "db/database.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 namespace ariesim {
@@ -24,20 +29,27 @@ Status Database::DoOpen(const std::string& dir) {
 
   disk_ = std::make_unique<DiskManager>(dir + "/data.db", options_.page_size,
                                         &metrics_, options_.sim_io_delay_us);
+  disk_->SetFaultInjector(&fault_);
   ARIES_RETURN_NOT_OK(disk_->Open());
   bool fresh = disk_->PagesOnDisk() == 0;
 
   log_ = std::make_unique<LogManager>(dir + "/wal.log", &metrics_,
                                       options_.fsync_log,
                                       options_.log_buffer_size);
+  log_->SetFaultInjector(&fault_);
   ARIES_RETURN_NOT_OK(log_->Open());
   pool_ = std::make_unique<BufferPool>(disk_.get(), log_.get(),
                                        options_.buffer_pool_frames, &metrics_,
                                        options_.verify_checksums);
+  pool_->SetFaultInjector(&fault_);
+  log_->SetAppendObserver([pool = pool_.get()](PageId id, Lsn lsn) {
+    pool->NoteDirtyById(id, lsn);
+  });
   locks_ = std::make_unique<LockManager>(&metrics_);
   txns_ = std::make_unique<TransactionManager>(log_.get(), locks_.get());
 
   ctx_.pool = pool_.get();
+  ctx_.disk = disk_.get();
   ctx_.log = log_.get();
   ctx_.locks = locks_.get();
   ctx_.txns = txns_.get();
@@ -248,6 +260,57 @@ void Database::SimulateCrash() {
   log_->DiscardUnflushed();
   pool_->DropAll();
   crashed_ = true;
+}
+
+Status Database::SimulateTornCrash(const TornCrashSpec& spec) {
+  SimulateCrash();
+  // The next incarnation's device is healthy; only the files stay damaged.
+  fault_.Disarm();
+  switch (spec.target) {
+    case TornCrashSpec::Target::kNone:
+      return Status::OK();
+    case TornCrashSpec::Target::kDataPage: {
+      const std::string path = dir_ + "/data.db";
+      int fd = ::open(path.c_str(), O_RDWR);
+      if (fd < 0) {
+        return Status::IOError("open " + path + ": " + std::strerror(errno));
+      }
+      const size_t ps = options_.page_size;
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return Status::IOError("fstat " + path);
+      }
+      off_t off = static_cast<off_t>(spec.page_id) * static_cast<off_t>(ps);
+      if (static_cast<uint64_t>(st.st_size) < static_cast<uint64_t>(off) + ps) {
+        ::close(fd);
+        return Status::InvalidArgument(
+            "page " + std::to_string(spec.page_id) +
+            " is not fully materialized on disk; cannot tear it");
+      }
+      // Keep the first keep_bytes of the page, scramble the rest — the torn
+      // suffix of a half-written sector is unspecified garbage.
+      size_t keep = std::min<size_t>(spec.keep_bytes, ps - 1);
+      std::string junk(ps - keep, '\xAB');
+      ssize_t n = ::pwrite(fd, junk.data(), junk.size(),
+                           off + static_cast<off_t>(keep));
+      bool ok = n == static_cast<ssize_t>(junk.size()) && ::fsync(fd) == 0;
+      ::close(fd);
+      if (!ok) return Status::IOError("tear page " + std::to_string(spec.page_id));
+      return Status::OK();
+    }
+    case TornCrashSpec::Target::kLogTail: {
+      const std::string path = dir_ + "/wal.log";
+      uint64_t to = std::max<uint64_t>(spec.truncate_to, kLogFilePrologue);
+      if (::truncate(path.c_str(), static_cast<off_t>(to)) != 0) {
+        return Status::IOError("truncate " + path + " to " +
+                               std::to_string(to) + ": " +
+                               std::strerror(errno));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("bad torn-crash target");
 }
 
 }  // namespace ariesim

@@ -64,6 +64,15 @@ class Database {
   /// Crash simulation: discard all volatile state. The object becomes
   /// unusable; reopen the directory to run restart recovery.
   void SimulateCrash();
+  /// Crash simulation that additionally leaves the on-disk files mid-write
+  /// (a torn data page, or a truncated log tail) per `spec`. For
+  /// Target::kDataPage the page must be fully materialized in the data
+  /// file. See docs/FAULT_INJECTION.md.
+  Status SimulateTornCrash(const TornCrashSpec& spec);
+
+  /// Deterministic fault-injection hook shared by the disk manager, log
+  /// manager and buffer pool of this database. Disarmed by default.
+  FaultInjector* fault_injector() { return &fault_; }
 
   EngineContext* ctx() { return &ctx_; }
   const Catalog* catalog() const { return catalog_.get(); }
@@ -89,6 +98,10 @@ class Database {
   std::string dir_;
   bool crashed_ = false;
   std::atomic<Lsn> last_auto_checkpoint_{0};
+
+  // Declared before the components that hold a pointer to it so it outlives
+  // them during destruction.
+  FaultInjector fault_;
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<LogManager> log_;

@@ -91,9 +91,13 @@ Result<Rid> HeapFile::TryInsertOnPage(Transaction* txn, PageId pid,
         LockMode::kX, LockDuration::kCommit, /*conditional=*/true);
     if (!ls.ok()) return ls;
   } else {
-    // Reused slot: after purge the old cell's bytes come back; check fit.
+    // Reused slot: after purge the old cell's bytes come back and no new
+    // slot entry is needed, so the record must fit in raw free bytes plus
+    // the reclaimed cell. FreeSpaceForNewCell() is wrong here: its zero
+    // floor hides a deficit smaller than kSlotSize and would let us log an
+    // insert that Apply() cannot place — an orphan record that poisons redo.
     size_t reclaim = v.SlotLen(slot);
-    if (v.FreeSpaceForNewCell() + reclaim + kSlotSize < record.size()) {
+    if (v.ContiguousFree() + v.FragmentedFree() + reclaim < record.size()) {
       *page_full = true;
       return Status::NoSpace();
     }
@@ -217,6 +221,13 @@ Status HeapFile::Update(Transaction* txn, Rid rid, std::string_view record) {
   if (v.type() != PageType::kHeap || rid.slot >= v.slot_count() ||
       v.SlotDead(rid.slot) || v.SlotTombstoned(rid.slot)) {
     return Status::NotFound("no record at " + rid.ToString());
+  }
+  // A growing update frees the old cell and reallocates; make sure the new
+  // record fits *before* logging, so the logged update is always applicable.
+  if (record.size() > v.SlotLen(rid.slot) &&
+      v.ContiguousFree() + v.FragmentedFree() + v.SlotLen(rid.slot) <
+          record.size()) {
+    return Status::NoSpace();
   }
   std::string payload = heap::EncodeUpdate(rid.slot, v.Cell(rid.slot), record);
   ARIES_ASSIGN_OR_RETURN(Lsn lsn,

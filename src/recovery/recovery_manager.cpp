@@ -1,7 +1,10 @@
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "storage/disk_manager.h"
+#include "storage/space_manager.h"
 #include "util/coding.h"
 
 namespace ariesim {
@@ -39,6 +42,11 @@ Status RecoveryManager::Analyze(Lsn start, AnalysisResult* out,
                                 RestartStats* stats) {
   LogManager::Reader reader(ctx_->log, start);
   LogRecord rec;
+  // Txns whose end record the scan has already consumed. The end-checkpoint
+  // snapshot was taken before those ends were logged, so its entries for
+  // them are stale and must not be re-seeded (a resurrected committed txn
+  // would be undone as a loser).
+  std::unordered_set<TxnId> ended;
   while (true) {
     Status s = reader.Next(&rec);
     if (s.IsNotFound()) break;
@@ -51,7 +59,12 @@ Status RecoveryManager::Analyze(Lsn start, AnalysisResult* out,
         for (uint32_t i = 0; i < ndpt; ++i) {
           PageId page = r.GetFixed32();
           Lsn rec_lsn = r.GetFixed64();
-          out->dpt.emplace(page, rec_lsn);  // keep earlier recLSN if present
+          // Keep the OLDEST recLSN. A concurrent update can land between the
+          // begin- and end-checkpoint records; the scan sees it first and
+          // would otherwise pin the page's recLSN at that update, making
+          // redo skip everything between the true recLSN and it.
+          auto [it, inserted] = out->dpt.emplace(page, rec_lsn);
+          if (!inserted && rec_lsn < it->second) it->second = rec_lsn;
         }
         uint32_t ntxn = r.GetFixed32();
         for (uint32_t i = 0; i < ntxn; ++i) {
@@ -59,14 +72,35 @@ Status RecoveryManager::Analyze(Lsn start, AnalysisResult* out,
           uint8_t state_byte = static_cast<uint8_t>(r.GetFixed8());
           Lsn last = r.GetFixed64();
           Lsn undo_next = r.GetFixed64();
-          (void)state_byte;
           // Merge: records after the checkpoint override these values, so
-          // only seed txns not yet seen.
-          if (out->txns.find(id) == out->txns.end()) {
-            auto& info = out->txns[id];
-            info.last_lsn = last;
-            info.undo_next = undo_next;
+          // only seed txns not yet seen — and never ones whose end record
+          // the scan already passed (they finished inside the checkpoint
+          // window; the snapshot predates that).
+          if (ended.count(id) != 0 ||
+              out->txns.find(id) != out->txns.end()) {
+            continue;
           }
+          // A transaction seeded only from the snapshot has no record at or
+          // after the begin-checkpoint (the scan would have built its entry
+          // otherwise), so the snapshotted LastLSN is its true final record.
+          // The snapshot itself is fuzzy: EndTransaction may have appended
+          // the commit/end record already while the table entry still read
+          // kActive. Re-check the log before adopting it as a loser —
+          // undoing a committed transaction corrupts the database.
+          TxnState state = static_cast<TxnState>(state_byte);
+          bool committed = state == TxnState::kCommitted;
+          if (last != kNullLsn) {
+            LogRecord final_rec;
+            if (ctx_->log->ReadRecord(last, &final_rec).ok() &&
+                final_rec.txn_id == id) {
+              if (final_rec.type == LogType::kEnd) continue;  // fully resolved
+              if (final_rec.type == LogType::kCommit) committed = true;
+            }
+          }
+          auto& info = out->txns[id];
+          info.last_lsn = last;
+          info.undo_next = undo_next;
+          info.committed = committed;
         }
         break;
       }
@@ -94,6 +128,7 @@ Status RecoveryManager::Analyze(Lsn start, AnalysisResult* out,
       }
       case LogType::kEnd: {
         out->txns.erase(rec.txn_id);
+        ended.insert(rec.txn_id);
         break;
       }
       default:
@@ -127,8 +162,19 @@ Status RecoveryManager::RedoPass(const AnalysisResult& ar, RestartStats* stats) 
       }
       continue;
     }
-    ARIES_ASSIGN_OR_RETURN(
-        PageGuard page, ctx_->pool->FetchPage(rec.page_id, LatchMode::kExclusive));
+    auto fetched = ctx_->pool->FetchPage(rec.page_id, LatchMode::kExclusive);
+    if (!fetched.ok()) {
+      if (fetched.status().code() != Code::kCorruption) {
+        return fetched.status();
+      }
+      // Torn on-disk image: rebuild the page from the log. RepairPage rolls
+      // it fully forward, so this record and every later one for the page
+      // is already covered — move on.
+      ARIES_RETURN_NOT_OK(RepairPage(rec.page_id));
+      if (stats != nullptr) stats->torn_pages_repaired++;
+      continue;
+    }
+    PageGuard page = std::move(fetched).value();
     if (page.view().page_lsn() >= rec.lsn) {
       if (ctx_->metrics != nullptr) {
         ctx_->metrics->redo_records_skipped.fetch_add(1, std::memory_order_relaxed);
@@ -253,6 +299,32 @@ Status RecoveryManager::RollForwardPage(PageId page, Lsn from) {
     guard.MarkDirty(rec.lsn);
   }
   return Status::OK();
+}
+
+Status RecoveryManager::RepairPage(PageId page) {
+  if (ctx_->disk == nullptr) {
+    return Status::Corruption("page " + std::to_string(page) +
+                              " checksum mismatch (no disk for repair)");
+  }
+  // Drop any cached corrupt copy so the rebuilt image is what readers see.
+  ARIES_RETURN_NOT_OK(ctx_->pool->DiscardPage(page));
+  const size_t ps = ctx_->pool->page_size();
+  std::string blank(ps, '\0');
+  PageView v(blank.data(), ps);
+  if (page < kSpaceMapPages) {
+    // Map pages were formatted before logging existed; recreate that base
+    // image so the logged bit flips replay on top of it.
+    SpaceManager::FormatMapPage(v, page);
+  } else {
+    // Everything else rebuilds from a zeroed page via its format record —
+    // which reads the page id from the page itself, so stamp it.
+    v.set_page_id(page);
+  }
+  ARIES_RETURN_NOT_OK(ctx_->disk->WritePage(page, blank.data()));
+  if (ctx_->metrics != nullptr) {
+    ctx_->metrics->torn_pages_repaired.fetch_add(1, std::memory_order_relaxed);
+  }
+  return RollForwardPage(page, kLogFilePrologue);
 }
 
 Status RecoveryManager::Restart(RestartStats* stats) {

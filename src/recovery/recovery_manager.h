@@ -28,6 +28,7 @@ struct RestartStats {
   uint64_t redo_applied = 0;
   uint64_t undo_records = 0;
   uint64_t loser_txns = 0;
+  uint64_t torn_pages_repaired = 0;  ///< CRC failures rebuilt from the log
   Lsn redo_start = kNullLsn;
 };
 
@@ -55,6 +56,13 @@ class RecoveryManager {
   /// `from` — page-oriented, applying only records for `page` whose LSN is
   /// newer than the restored page_LSN.
   Status RollForwardPage(PageId page, Lsn from);
+
+  /// Rebuild a page whose on-disk image failed its CRC (torn write): drop
+  /// the corrupt copy, restore the pre-log base image (zeroed, or the
+  /// formatted map page for space-map pages) and roll it forward from the
+  /// start of the log. The redo pass invokes this automatically when a
+  /// fetch reports kCorruption.
+  Status RepairPage(PageId page);
 
   /// Failure injection (tests only): abort the restart-undo pass with an
   /// injected error after `n` records — simulating a crash *during*

@@ -38,6 +38,13 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
   if (sim_io_delay_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(sim_io_delay_us_));
   }
+  if (fault_ != nullptr) {
+    FaultAction a = fault_->OnIo(FaultSite::kDataRead, page_size_);
+    if (a.kind != FaultAction::Kind::kProceed) {
+      return Status::IOError("fault injection: read of page " +
+                             std::to_string(id));
+    }
+  }
   off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
   ssize_t n = ::pread(fd_, buf, page_size_, off);
   if (n < 0) {
@@ -58,11 +65,34 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
   if (sim_io_delay_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(sim_io_delay_us_));
   }
+  size_t write_len = page_size_;
+  if (fault_ != nullptr) {
+    FaultAction a = fault_->OnIo(FaultSite::kDataWrite, page_size_);
+    if (a.kind == FaultAction::Kind::kFail) {
+      return Status::IOError("fault injection: write of page " +
+                             std::to_string(id));
+    }
+    if (a.kind == FaultAction::Kind::kTear) {
+      // The torn prefix reaches the platter; the caller sees success, as it
+      // would before the power actually failed.
+      write_len = a.keep_bytes;
+    }
+  }
   off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
-  ssize_t n = ::pwrite(fd_, buf, page_size_, off);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IOError("pwrite page " + std::to_string(id) + ": " +
-                           std::strerror(errno));
+  if (write_len > 0) {
+    ssize_t n = ::pwrite(fd_, buf, write_len, off);
+    if (n < 0) {
+      return Status::IOError("pwrite page " + std::to_string(id) + ": " +
+                             std::strerror(errno));
+    }
+    if (static_cast<size_t>(n) != write_len) {
+      // A short write is not an errno failure: an unknown prefix of the page
+      // is now on disk. Report the byte counts so callers (and operators) can
+      // distinguish a torn page from a plain I/O error.
+      return Status::IOError("short pwrite of page " + std::to_string(id) +
+                             ": wrote " + std::to_string(n) + " of " +
+                             std::to_string(write_len) + " bytes");
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->pages_written.fetch_add(1, std::memory_order_relaxed);
@@ -71,6 +101,12 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
 }
 
 Status DiskManager::Sync() {
+  if (fault_ != nullptr) {
+    FaultAction a = fault_->OnIo(FaultSite::kDataSync, 0);
+    if (a.kind != FaultAction::Kind::kProceed) {
+      return Status::IOError("fault injection: data sync");
+    }
+  }
   if (::fsync(fd_) != 0) {
     return Status::IOError(std::string("fsync: ") + std::strerror(errno));
   }

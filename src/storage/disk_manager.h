@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "util/fault_injector.h"
 
 namespace ariesim {
 
@@ -36,11 +37,16 @@ class DiskManager {
   /// Number of pages currently materialized in the file.
   uint64_t PagesOnDisk() const;
 
+  /// Install a fault-injection hook consulted before every I/O. Pass
+  /// nullptr to detach. The injector must outlive this DiskManager.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   std::string path_;
   size_t page_size_;
   Metrics* metrics_;
   uint32_t sim_io_delay_us_;
+  FaultInjector* fault_ = nullptr;
   int fd_ = -1;
   std::mutex mu_;  // serializes file extension bookkeeping
 };

@@ -30,19 +30,22 @@ bool SpaceManager::TestBit(PageView v, uint32_t bit) {
   return (base[bit / 8] >> (bit % 8)) & 1;
 }
 
+void SpaceManager::FormatMapPage(PageView v, PageId map_page) {
+  v.Init(map_page, PageType::kMeta, kInvalidObjectId, 0);
+  // The map pages themselves are marked allocated in map page 0 — a fact
+  // established before logging exists, hence part of the base image.
+  if (map_page == 0) {
+    for (PageId m = 0; m < kSpaceMapPages; ++m) ApplyBit(v, m, true);
+  }
+}
+
 Status SpaceManager::Bootstrap() {
   for (PageId m = 0; m < kSpaceMapPages; ++m) {
     ARIES_ASSIGN_OR_RETURN(PageGuard page,
                            ctx_->pool->FetchPage(m, LatchMode::kExclusive));
-    PageView v = page.view();
-    v.Init(m, PageType::kMeta, kInvalidObjectId, 0);
+    FormatMapPage(page.view(), m);
     page.MarkDirty(kNullLsn);
   }
-  // Mark the map pages themselves allocated (they live in map page 0).
-  ARIES_ASSIGN_OR_RETURN(PageGuard page0,
-                         ctx_->pool->FetchPage(0, LatchMode::kExclusive));
-  for (PageId m = 0; m < kSpaceMapPages; ++m) ApplyBit(page0.view(), m, true);
-  page0.MarkDirty(kNullLsn);
   return Status::OK();
 }
 

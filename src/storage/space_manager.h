@@ -30,6 +30,11 @@ class SpaceManager final : public ResourceManager {
   /// Format the space-map pages of a fresh database (direct, pre-logging).
   Status Bootstrap();
 
+  /// Rebuild the unlogged base image of map page `map_page` into `v` (an
+  /// X-latched or private buffer). Torn-page repair replays the logged bit
+  /// flips on top of this, since Bootstrap itself predates the log.
+  static void FormatMapPage(PageView v, PageId map_page);
+
   /// Allocate a page on behalf of `txn` (logged, undoable).
   Result<PageId> AllocatePage(Transaction* txn);
   /// Return a page to the map (logged, undoable).

@@ -2,6 +2,7 @@
 // savepoints, and nested-top-action bracketing (paper §1.2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,26 +23,36 @@ class Transaction {
   explicit Transaction(TxnId id) : id_(id) {}
 
   TxnId id() const { return id_; }
-  TxnState state() const { return state_; }
-  void set_state(TxnState s) { state_ = s; }
+  // State and chain anchors are relaxed atomics: only the owning thread
+  // mutates them, but fuzzy checkpoints (TransactionManager::Snapshot) read
+  // them concurrently. Analysis tolerates a stale value by re-checking the
+  // log record a snapshotted LastLSN points at.
+  TxnState state() const { return state_.load(std::memory_order_relaxed); }
+  void set_state(TxnState s) { state_.store(s, std::memory_order_relaxed); }
 
   /// LSN of the most recent log record written by this transaction.
-  Lsn last_lsn() const { return last_lsn_; }
-  void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
+  Lsn last_lsn() const { return last_lsn_.load(std::memory_order_relaxed); }
+  void set_last_lsn(Lsn lsn) {
+    last_lsn_.store(lsn, std::memory_order_relaxed);
+  }
 
   /// LSN of the next record to process during rollback (skips over
   /// already-compensated suffixes and completed nested top actions).
-  Lsn undo_next_lsn() const { return undo_next_lsn_; }
-  void set_undo_next_lsn(Lsn lsn) { undo_next_lsn_ = lsn; }
+  Lsn undo_next_lsn() const {
+    return undo_next_lsn_.load(std::memory_order_relaxed);
+  }
+  void set_undo_next_lsn(Lsn lsn) {
+    undo_next_lsn_.store(lsn, std::memory_order_relaxed);
+  }
 
   /// Establish a savepoint: rollback-to returns the transaction to the
   /// state as of this point.
-  Lsn Savepoint() const { return last_lsn_; }
+  Lsn Savepoint() const { return last_lsn(); }
 
   // -- nested top actions -----------------------------------------------
   /// Remember the LSN the eventual dummy CLR must point at (paper Fig 8:
   /// "Remember LSN of last log record of transaction").
-  void BeginNta() { nta_stack_.push_back(last_lsn_); }
+  void BeginNta() { nta_stack_.push_back(last_lsn()); }
   /// Anchor the NTA at an explicit LSN. Needed when an SMO runs during
   /// rollback *before* the CLR of the record being undone is written (e.g.
   /// a page split making room for the undo of a key delete): if a failure
@@ -57,9 +68,9 @@ class Transaction {
 
  private:
   TxnId id_;
-  TxnState state_ = TxnState::kActive;
-  Lsn last_lsn_ = kNullLsn;
-  Lsn undo_next_lsn_ = kNullLsn;
+  std::atomic<TxnState> state_{TxnState::kActive};
+  std::atomic<Lsn> last_lsn_{kNullLsn};
+  std::atomic<Lsn> undo_next_lsn_{kNullLsn};
   std::vector<Lsn> nta_stack_;
 };
 

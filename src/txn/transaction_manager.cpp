@@ -14,6 +14,15 @@ Transaction* TransactionManager::Begin() {
 }
 
 Result<Lsn> TransactionManager::AppendTxnLog(Transaction* txn, LogRecord* rec) {
+  // mu_ makes the {log append, LastLSN/UndoNxtLSN update} pair atomic with
+  // respect to Snapshot(). Without it a fuzzy checkpoint can capture a
+  // LastLSN that lags the log: the snapshot then claims a transaction's
+  // final record is an update even though its commit record already sits
+  // before the begin-checkpoint, and restart analysis — which can only see
+  // records at or after the begin-checkpoint — would adopt the committed
+  // transaction as a loser and roll it back. Appends are already serialized
+  // by the log's own mutex, so this adds no meaningful contention.
+  std::lock_guard<std::mutex> lk(mu_);
   rec->txn_id = txn->id();
   rec->prev_lsn = txn->last_lsn();
   ARIES_ASSIGN_OR_RETURN(Lsn lsn, log_->Append(rec));
@@ -52,11 +61,14 @@ Status TransactionManager::Commit(Transaction* txn) {
 }
 
 Status TransactionManager::EndTransaction(Transaction* txn, TxnState final_state) {
+  // Publish the outcome before the end record hits the log: a fuzzy
+  // checkpoint snapshotting this entry between the end-record append and
+  // Forget() must not see a stale kActive for a resolved transaction.
+  txn->set_state(final_state);
   LogRecord end;
   end.type = LogType::kEnd;
   ARIES_RETURN_NOT_OK(AppendTxnLog(txn, &end).status());
   locks_->ReleaseAll(txn->id());
-  txn->set_state(final_state);
   Forget(txn->id());
   return Status::OK();
 }

@@ -1,0 +1,140 @@
+#include "util/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ariesim {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDataRead:
+      return "data-read";
+    case FaultSite::kDataWrite:
+      return "data-write";
+    case FaultSite::kDataSync:
+      return "data-sync";
+    case FaultSite::kLogFlush:
+      return "log-flush";
+    case FaultSite::kEvictWrite:
+      return "evict-write";
+  }
+  return "?";
+}
+
+namespace {
+const char* KindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kPartialFlush:
+      return "partial-flush";
+    case FaultKind::kTransientError:
+      return "transient-error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  os << KindName(kind) << "@" << FaultSiteName(site) << " nth=" << nth
+     << " keep=" << keep_bytes << " repeat=" << repeat
+     << (freeze_after ? " freeze" : "");
+  return os.str();
+}
+
+std::string TornCrashSpec::ToString() const {
+  std::ostringstream os;
+  switch (target) {
+    case Target::kNone:
+      os << "plain-crash";
+      break;
+    case Target::kDataPage:
+      os << "torn-page id=" << page_id << " keep=" << keep_bytes;
+      break;
+    case Target::kLogTail:
+      os << "log-tail truncate_to=" << truncate_to;
+      break;
+  }
+  return os.str();
+}
+
+void FaultInjector::Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  spec_ = spec;
+  armed_ = spec.kind != FaultKind::kNone;
+  match_count_ = 0;
+  remaining_repeats_ = spec.repeat == 0 ? 1 : spec.repeat;
+  active_.store(armed_ || frozen_.load(std::memory_order_relaxed),
+                std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_ = false;
+  spec_ = FaultSpec{};
+  frozen_.store(false, std::memory_order_release);
+  active_.store(false, std::memory_order_release);
+}
+
+FaultAction FaultInjector::OnIo(FaultSite site, uint64_t bytes) {
+  if (!active_.load(std::memory_order_acquire)) return FaultAction{};
+  std::lock_guard<std::mutex> lk(mu_);
+  if (frozen_.load(std::memory_order_relaxed)) {
+    fires_.fetch_add(1, std::memory_order_release);
+    return FaultAction{FaultAction::Kind::kFail, 0};
+  }
+  if (!armed_ || site != spec_.site) return FaultAction{};
+  site_ops_[static_cast<int>(site)]++;
+  uint64_t seq = match_count_++;
+  if (seq < spec_.nth) return FaultAction{};
+
+  FaultAction action;
+  switch (spec_.kind) {
+    case FaultKind::kNone:
+      return FaultAction{};
+    case FaultKind::kTornWrite:
+    case FaultKind::kPartialFlush: {
+      action.kind = FaultAction::Kind::kTear;
+      // A tear must lose at least one byte to be a tear at all.
+      uint64_t cap = bytes == 0 ? 0 : bytes - 1;
+      action.keep_bytes =
+          static_cast<uint32_t>(std::min<uint64_t>(spec_.keep_bytes, cap));
+      armed_ = false;
+      if (spec_.freeze_after) frozen_.store(true, std::memory_order_release);
+      break;
+    }
+    case FaultKind::kTransientError: {
+      action.kind = FaultAction::Kind::kFail;
+      if (--remaining_repeats_ == 0) armed_ = false;
+      break;
+    }
+  }
+  fires_.fetch_add(1, std::memory_order_release);
+  active_.store(armed_ || frozen_.load(std::memory_order_relaxed),
+                std::memory_order_release);
+  return action;
+}
+
+uint64_t FaultInjector::ops_while_armed(FaultSite site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return site_ops_[static_cast<int>(site)];
+}
+
+std::string FaultInjector::Describe() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "spec={" << spec_.ToString() << "} armed=" << (armed_ ? 1 : 0)
+     << " frozen=" << (frozen_.load(std::memory_order_relaxed) ? 1 : 0)
+     << " fires=" << fires_.load(std::memory_order_relaxed) << " ops=[";
+  for (int i = 0; i < kFaultSiteCount; i++) {
+    if (i) os << " ";
+    os << FaultSiteName(static_cast<FaultSite>(i)) << ":" << site_ops_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ariesim

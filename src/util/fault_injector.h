@@ -1,0 +1,139 @@
+// Deterministic fault injection for crash-recovery testing.
+//
+// A FaultInjector is a passive decision point threaded through the storage
+// stack: DiskManager (page read/write/sync), LogManager (tail flush) and
+// BufferPool (eviction write-back) consult it before touching the file
+// system. Tests arm one fault spec — "tear the 7th page write after byte
+// 113", "fail the 3rd log flush after writing 40 bytes", "return IOError
+// from the next 2 reads" — and the injector fires it exactly once the
+// matching I/O arrives, then (for the crash-shaped faults) freezes the
+// device so no later write can paper over the damage, exactly as a real
+// power failure would.
+//
+// Everything is counter-based and seed-derivable: the same spec against the
+// same workload produces the same torn byte. See docs/FAULT_INJECTION.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+
+namespace ariesim {
+
+/// Instrumented I/O sites. A fault spec targets exactly one site.
+enum class FaultSite : uint8_t {
+  kDataRead = 0,   ///< DiskManager::ReadPage
+  kDataWrite = 1,  ///< DiskManager::WritePage
+  kDataSync = 2,   ///< DiskManager::Sync
+  kLogFlush = 3,   ///< LogManager tail flush (one pwrite of the buffer)
+  kEvictWrite = 4, ///< BufferPool::WriteFrame (dirty-frame write-back)
+};
+inline constexpr int kFaultSiteCount = 5;
+
+const char* FaultSiteName(FaultSite site);
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// Page write persists only the first `keep_bytes` bytes; the caller sees
+  /// success (a torn write is only observable after the crash). Freezes the
+  /// device afterwards by default.
+  kTornWrite = 1,
+  /// Log flush persists only the first `keep_bytes` bytes of the tail and
+  /// fails; flushed_lsn does not advance. Freezes the device afterwards by
+  /// default.
+  kPartialFlush = 2,
+  /// The matching call (and the `repeat - 1` matching calls after it)
+  /// return Status::IOError; the device then heals.
+  kTransientError = 3,
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  FaultSite site = FaultSite::kDataWrite;
+  /// Fire on the nth matching I/O after Arm (0 = the very next one).
+  uint64_t nth = 0;
+  /// kTornWrite / kPartialFlush: bytes of the new image that reach the file.
+  /// Clamped to the I/O size minus one so a "tear" always loses something.
+  uint32_t keep_bytes = 0;
+  /// kTransientError: number of consecutive matching calls that fail.
+  uint32_t repeat = 1;
+  /// kTornWrite / kPartialFlush: fail every subsequent I/O at every site
+  /// after firing (the machine is dead; only SimulateCrash + reopen can
+  /// follow). Transient errors ignore this.
+  bool freeze_after = true;
+
+  std::string ToString() const;
+};
+
+/// What the instrumented call site must do.
+struct FaultAction {
+  enum class Kind : uint8_t {
+    kProceed = 0,  ///< perform the I/O normally
+    kTear = 1,     ///< persist only `keep_bytes` bytes
+    kFail = 2,     ///< perform no I/O; return Status::IOError
+  };
+  Kind kind = Kind::kProceed;
+  uint32_t keep_bytes = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arm `spec`. Replaces any previous spec; resets the match counter but
+  /// not the lifetime trip/op counters.
+  void Arm(const FaultSpec& spec);
+  /// Disarm and thaw. Pending transient repeats are cancelled.
+  void Disarm();
+
+  /// Consulted by the storage stack before each I/O of `bytes` bytes.
+  FaultAction OnIo(FaultSite site, uint64_t bytes);
+
+  /// True once the armed fault has fired at least once.
+  bool tripped() const { return fires_.load(std::memory_order_acquire) > 0; }
+  /// Number of calls that were torn or failed since construction.
+  uint64_t fires() const { return fires_.load(std::memory_order_acquire); }
+  /// True while every I/O is failing post-trip.
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Matching-I/O count observed while armed (for choosing `nth` sweeps).
+  uint64_t ops_while_armed(FaultSite site) const;
+
+  /// Human-readable state, for logging a failing seed's reproduction line.
+  std::string Describe() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultSpec spec_;
+  bool armed_ = false;
+  uint64_t match_count_ = 0;       // matching-site I/Os since Arm
+  uint32_t remaining_repeats_ = 0; // transient errors left to deliver
+  uint64_t site_ops_[kFaultSiteCount] = {0};
+  // Read lock-free on the I/O fast path and by test threads.
+  std::atomic<bool> active_{false};  // armed or frozen
+  std::atomic<bool> frozen_{false};
+  std::atomic<uint64_t> fires_{0};
+};
+
+/// A crash that leaves the on-disk files mid-write, applied by
+/// Database::SimulateTornCrash after volatile state is discarded.
+struct TornCrashSpec {
+  enum class Target : uint8_t {
+    kNone = 0,      ///< plain crash (equivalent to SimulateCrash)
+    kDataPage = 1,  ///< tear one page of data.db: keep a prefix, trash the rest
+    kLogTail = 2,   ///< truncate wal.log to `truncate_to` bytes
+  };
+  Target target = Target::kNone;
+  PageId page_id = kInvalidPageId;  ///< kDataPage: which page to tear
+  uint32_t keep_bytes = 0;          ///< kDataPage: prefix of the page preserved
+  uint64_t truncate_to = 0;         ///< kLogTail: resulting file size in bytes
+
+  std::string ToString() const;
+};
+
+}  // namespace ariesim

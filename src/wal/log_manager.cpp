@@ -58,8 +58,8 @@ Status LogManager::Open() {
       return Status::IOError("ftruncate log tail");
     }
   }
-  flushed_lsn_ = next_lsn_;
-  buffer_base_ = next_lsn_;
+  flushed_lsn_ = next_lsn_.load();
+  buffer_base_ = next_lsn_.load();
   buffer_.clear();
   return Status::OK();
 }
@@ -78,6 +78,10 @@ Result<Lsn> LogManager::Append(LogRecord* rec) {
   rec->AppendTo(&buffer_);
   next_lsn_ += rec->SerializedSize();
   last_lsn_ = rec->lsn;
+  if (append_observer_ && rec->IsRedoable() &&
+      rec->page_id != kInvalidPageId) {
+    append_observer_(rec->page_id, rec->lsn);
+  }
   if (metrics_ != nullptr) {
     metrics_->log_records.fetch_add(1, std::memory_order_relaxed);
     metrics_->log_bytes.fetch_add(rec->SerializedSize(), std::memory_order_relaxed);
@@ -93,17 +97,39 @@ Result<Lsn> LogManager::Append(LogRecord* rec) {
 
 Status LogManager::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
+  if (fault_ != nullptr) {
+    FaultAction a = fault_->OnIo(FaultSite::kLogFlush, buffer_.size());
+    if (a.kind == FaultAction::Kind::kFail) {
+      return Status::IOError("fault injection: log flush");
+    }
+    if (a.kind == FaultAction::Kind::kTear) {
+      // Partial tail flush: a prefix of the tail reaches the file, but the
+      // flush as a whole fails — flushed_lsn_ must not advance, so no caller
+      // may treat any of these records as durable.
+      (void)::pwrite(fd_, buffer_.data(), a.keep_bytes,
+                     static_cast<off_t>(buffer_base_));
+      return Status::IOError(
+          "fault injection: partial log flush (" +
+          std::to_string(a.keep_bytes) + " of " +
+          std::to_string(buffer_.size()) + " bytes)");
+    }
+  }
   // Flush the whole tail (simple, and amortizes well under group pressure).
   ssize_t n = ::pwrite(fd_, buffer_.data(), buffer_.size(),
                        static_cast<off_t>(buffer_base_));
-  if (n != static_cast<ssize_t>(buffer_.size())) {
+  if (n < 0) {
     return Status::IOError("pwrite log: " + std::string(std::strerror(errno)));
+  }
+  if (static_cast<size_t>(n) != buffer_.size()) {
+    return Status::IOError("short pwrite of log tail: wrote " +
+                           std::to_string(n) + " of " +
+                           std::to_string(buffer_.size()) + " bytes");
   }
   if (fsync_on_flush_ && ::fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync log");
   }
-  buffer_base_ = next_lsn_;
-  flushed_lsn_ = next_lsn_;
+  buffer_base_ = next_lsn_.load();
+  flushed_lsn_ = next_lsn_.load();
   buffer_.clear();
   if (metrics_ != nullptr) {
     metrics_->log_flushes.fetch_add(1, std::memory_order_relaxed);
@@ -158,8 +184,8 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
 void LogManager::DiscardUnflushed() {
   std::lock_guard<std::mutex> lk(mu_);
   buffer_.clear();
-  next_lsn_ = flushed_lsn_;
-  buffer_base_ = flushed_lsn_;
+  next_lsn_ = flushed_lsn_.load();
+  buffer_base_ = flushed_lsn_.load();
 }
 
 Status LogManager::WriteMaster(Lsn checkpoint_lsn) {

@@ -8,12 +8,15 @@
 //    record's checkpoint.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <mutex>
 #include <string>
 
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "util/fault_injector.h"
 #include "wal/log_record.h"
 
 namespace ariesim {
@@ -45,10 +48,29 @@ class LogManager {
   /// Crash simulation: throw away the volatile tail.
   void DiscardUnflushed();
 
-  Lsn next_lsn() const { return next_lsn_; }
-  Lsn flushed_lsn() const { return flushed_lsn_; }
+  Lsn next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
+  Lsn flushed_lsn() const {
+    return flushed_lsn_.load(std::memory_order_acquire);
+  }
   /// LSN of the most recently appended record (kNullLsn if none).
-  Lsn last_lsn() const { return last_lsn_; }
+  Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
+
+  /// Install a fault-injection hook consulted before each tail flush. Pass
+  /// nullptr to detach. The injector must outlive this LogManager.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
+  /// Observer invoked inside the append critical section with
+  /// (page_id, lsn) for every redoable page record. The buffer pool uses it
+  /// to register the page as dirty *atomically with the append*: callers
+  /// apply the change to the latched page only after Append returns, and a
+  /// fuzzy checkpoint that slips its begin record plus dirty-page-table
+  /// collection into that gap would otherwise miss the page entirely —
+  /// the record precedes the begin-checkpoint, so restart analysis can
+  /// never rediscover it and redo skips it. The observer must not call
+  /// back into this LogManager.
+  void SetAppendObserver(std::function<void(PageId, Lsn)> obs) {
+    append_observer_ = std::move(obs);
+  }
 
   // -- master record (last checkpoint address) ---------------------------
   Status WriteMaster(Lsn checkpoint_lsn);
@@ -76,14 +98,17 @@ class LogManager {
   Metrics* metrics_;
   bool fsync_on_flush_;
   size_t buffer_capacity_;
+  FaultInjector* fault_ = nullptr;
+  std::function<void(PageId, Lsn)> append_observer_;
   int fd_ = -1;
 
   std::mutex mu_;
   std::string buffer_;     // unflushed tail: bytes [buffer_base_, next_lsn_)
   Lsn buffer_base_ = 0;    // LSN of buffer_[0]
-  Lsn next_lsn_ = 0;
-  Lsn flushed_lsn_ = 0;    // all records with lsn < flushed end are durable
-  Lsn last_lsn_ = kNullLsn;
+  // Written under mu_; atomic so the lock-free accessors are race-free.
+  std::atomic<Lsn> next_lsn_{0};
+  std::atomic<Lsn> flushed_lsn_{0};  // records below this are durable
+  std::atomic<Lsn> last_lsn_{kNullLsn};
 };
 
 }  // namespace ariesim

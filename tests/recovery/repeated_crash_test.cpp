@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "db/database.h"
+#include "record/heap_file.h"
 #include "test_util.h"
 
 namespace ariesim {
@@ -113,6 +114,107 @@ TEST(RepeatedCrashTest, EachRecordCompensatedAtMostOnce) {
   uint64_t clrs = count_clrs(dir.path());
   EXPECT_GE(clrs, 40u);
   EXPECT_LE(clrs, 60u) << "records compensated more than once";
+}
+
+TEST(RepeatedCrashTest, RedoIsIdempotentAcrossRecoveries) {
+  // page_LSN-gated redo: a second recovery over the same log must SKIP every
+  // update the first recovery already applied and flushed — scanning the
+  // records again is fine, re-applying them is not (it would, e.g., insert
+  // index keys twice).
+  TempDir dir("idem");
+  constexpr int kRows = 30;
+  {
+    auto db = std::move(Database::Open(dir.path(), SmallPageOptions())).value();
+    Table* t = db->CreateTable("t", 2).value();
+    ASSERT_TRUE(db->CreateIndex("t", "pk", 0, true).ok());
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_OK(t->Insert(txn, {"k" + std::to_string(i), "v"}));
+    }
+    ASSERT_OK(db->Commit(txn));
+    db->SimulateCrash();  // dirty pages lost: the next open has real redo
+  }
+  {
+    auto db = std::move(Database::Open(dir.path(), SmallPageOptions())).value();
+    ASSERT_GT(db->restart_stats().redo_applied, 0u)
+        << "first recovery must actually redo the lost updates";
+    // Persist the redone pages, then crash again without further updates.
+    ASSERT_OK(db->FlushAllPages());
+    db->SimulateCrash();
+  }
+  {
+    auto db = std::move(Database::Open(dir.path(), SmallPageOptions())).value();
+    const RestartStats& st = db->restart_stats();
+    EXPECT_GT(st.redo_records, 0u)
+        << "the second recovery still scans the shared log suffix";
+    EXPECT_EQ(st.redo_applied, 0u)
+        << "every record's effect is already on disk (page_LSN gate)";
+    EXPECT_EQ(db->metrics().redo_records_skipped.load(), st.redo_records);
+    // And the data is exactly once-applied.
+    size_t keys = 0;
+    ASSERT_OK(db->GetIndex("pk")->Validate(&keys));
+    EXPECT_EQ(keys, static_cast<size_t>(kRows));
+    Table* t = db->GetTable("t");
+    Transaction* check = db->Begin();
+    for (int i = 0; i < kRows; ++i) {
+      std::optional<Row> row;
+      ASSERT_OK(t->FetchByKey(check, "pk", "k" + std::to_string(i), &row));
+      ASSERT_TRUE(row.has_value()) << "k" << i;
+      EXPECT_EQ((*row)[1], "v");
+    }
+    ASSERT_OK(db->Commit(check));
+  }
+}
+
+TEST(RepeatedCrashTest, TightTombstoneReuseNeverLogsUnappliableInsert) {
+  // Regression: with zero raw free bytes and a committed tombstone of L
+  // bytes, the old tombstone-reuse fit check (zero-floored
+  // FreeSpaceForNewCell() + reclaim + kSlotSize) accepted records up to
+  // L + kSlotSize even though only L bytes exist after the purge. The
+  // insert was LOGGED, failed to apply, and the live path shrugged and
+  // placed the row on the next chain page — leaving an orphan log record
+  // that restart redo replays into the same NoSpace, failing recovery
+  // with "page full".
+  TempDir dir("tight");
+  Rid victim_page_rid;
+  {
+    auto db = std::move(Database::Open(dir.path(), SmallPageOptions())).value();
+    Table* t = db->CreateTable("t", 2).value();
+    HeapFile* heap = t->heap();
+    // 512-byte page, 40-byte header: 8 records of 55 bytes plus 8 slot
+    // entries of 4 bytes fill the page exactly (8 * 59 = 472).
+    Transaction* fill = db->Begin();
+    std::vector<Rid> rids;
+    for (int i = 0; i < 8; ++i) {
+      auto r = heap->Insert(fill, std::string(55, static_cast<char>('a' + i)));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      rids.push_back(r.value());
+    }
+    ASSERT_OK(db->Commit(fill));
+    ASSERT_EQ(rids.front().page_id, rids.back().page_id) << "fill math is off";
+    victim_page_rid = rids.front();
+    // Free exactly one cell as a committed tombstone.
+    Transaction* del = db->Begin();
+    ASSERT_OK(heap->Delete(del, rids[3]));
+    ASSERT_OK(db->Commit(del));
+    // 58 > 55: does not fit even after reclaiming the tombstone. Must land
+    // on a chain page without logging anything against the full page.
+    Transaction* ins = db->Begin();
+    auto r = heap->Insert(ins, std::string(58, 'z'));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_NE(r.value().page_id, victim_page_rid.page_id)
+        << "58 bytes cannot fit on the full page";
+    ASSERT_OK(db->Commit(ins));
+    db->SimulateCrash();
+  }
+  // Restart replays the full page's history from scratch; it only succeeds
+  // if every logged record is actually applicable.
+  auto reopened = Database::Open(dir.path(), SmallPageOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto db = std::move(reopened).value();
+  auto got = db->GetTable("t")->heap()->Fetch(victim_page_rid);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), std::string(55, 'a'));
 }
 
 TEST(RepeatedCrashTest, CrashImmediatelyAfterRecoveryIsCheap) {

@@ -1,0 +1,339 @@
+// Randomized torn-write / partial-flush / transient-error crash-recovery
+// harness. Each fault class runs a multi-threaded insert/delete workload
+// with a seed-derived fault armed in the FaultInjector, crashes, recovers,
+// and asserts that:
+//  (1) the recovered state equals the committed reference model (in-doubt
+//      commits — the commit record sat in the torn tail — may land either
+//      way, but must land atomically);
+//  (2) pages whose on-disk image fails its CRC are detected and rebuilt
+//      from the log (restart_stats().torn_pages_repaired matches an offline
+//      scan of the data file);
+//  (3) the analysis/redo/undo bookkeeping in RestartStats and Metrics is
+//      internally consistent.
+//
+// Reproduce one failing seed with:
+//   ARIESIM_STRESS_SEEDS=<seed> ./fault_injection_test
+//       --gtest_filter='Seeds/<Suite>*'
+// (see docs/FAULT_INJECTION.md).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "fault_util.h"
+#include "test_util.h"
+#include "util/fault_injector.h"
+#include "util/random.h"
+#include "wal/log_manager.h"
+
+namespace ariesim {
+namespace {
+
+using testing::CheckRestartConsistency;
+using testing::CorruptPagesOnDisk;
+using testing::FaultTestOptions;
+using testing::RunFaultWorkload;
+using testing::StressSeeds;
+using testing::TempDir;
+using testing::VerifyDatabaseState;
+using testing::WorkloadParams;
+using testing::WorkloadTrace;
+
+class FaultClassTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void Open(const std::string& tag) {
+    dir_ = std::make_unique<TempDir>(tag + "_" + std::to_string(GetParam()));
+    db_ = std::move(Database::Open(dir_->path(), FaultTestOptions())).value();
+    table_ = db_->CreateTable("t", 2).value();
+    ASSERT_TRUE(db_->CreateIndex("t", "pk", 0, true).ok());
+  }
+
+  /// Commit a few rows per worker prefix so deletes have targets and page
+  /// tears can hit pages that carry committed data.
+  void SeedBaseRows() {
+    Random rnd(GetParam() ^ 0xba5eba5e);
+    for (int t = 0; t < kThreads; ++t) {
+      Transaction* txn = db_->Begin();
+      for (int i = 0; i < 12; ++i) {
+        std::string key =
+            "t" + std::to_string(t) + "-" + rnd.Key(rnd.Uniform(40), 3);
+        Status s = table_->Insert(txn, {key, "base"});
+        if (s.ok()) {
+          trace_.committed[key] = "base";
+        } else {
+          ASSERT_TRUE(s.IsDuplicate()) << s.ToString();
+        }
+      }
+      ASSERT_OK(db_->Commit(txn));
+    }
+  }
+
+  /// Crash `db_` (keeping whatever the injected fault left on disk) and run
+  /// restart recovery with a roomier pool.
+  void CrashAndRecover(const TornCrashSpec& spec = TornCrashSpec{}) {
+    ASSERT_OK(db_->SimulateTornCrash(spec));
+    testing::MaybeKeepCrashImage(dir_->path());
+    Options o = FaultTestOptions();
+    o.buffer_pool_frames = 512;
+    auto reopened = Database::Open(dir_->path(), o);
+    ASSERT_TRUE(reopened.ok()) << "restart recovery failed: " << reopened.status().ToString();
+    db_ = std::move(reopened).value();
+    table_ = db_->GetTable("t");
+    ASSERT_NE(table_, nullptr);
+  }
+
+  static constexpr int kThreads = 3;
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;
+  WorkloadTrace trace_;
+};
+
+// ---------------------------------------------------------------------------
+// Fault class 1: a data-page write is torn at a seed-chosen byte. The write
+// reports success (torn writes are only discovered after the crash), the
+// device freezes, and restart must detect the page via its CRC and rebuild
+// it from the log.
+class TornWriteTest : public FaultClassTest {};
+
+TEST_P(TornWriteTest, TornPageWriteDetectedAndRepaired) {
+  const uint64_t seed = GetParam();
+  Random rnd(seed);
+  Open("ftorn");
+  SeedBaseRows();
+  ASSERT_OK(db_->FlushAllPages());
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kTornWrite;
+  spec.site = FaultSite::kDataWrite;
+  spec.nth = rnd.Range(0, 6);
+  spec.keep_bytes =
+      static_cast<uint32_t>(rnd.Range(8, FaultTestOptions().page_size - 1));
+  db_->fault_injector()->Arm(spec);
+  SCOPED_TRACE("spec " + spec.ToString());
+
+  RunFaultWorkload(db_.get(), table_, seed, WorkloadParams{}, &trace_);
+
+  ASSERT_OK(db_->SimulateTornCrash(TornCrashSpec{}));
+  testing::MaybeKeepCrashImage(dir_->path());
+  // At most the one torn write can have damaged the file: the device froze
+  // the instant the tear fired.
+  auto bad = CorruptPagesOnDisk(dir_->path(), FaultTestOptions().page_size);
+  EXPECT_LE(bad.size(), 1u);
+
+  Options o = FaultTestOptions();
+  o.buffer_pool_frames = 512;
+  auto reopened = Database::Open(dir_->path(), o);
+  ASSERT_TRUE(reopened.ok()) << "restart recovery failed: " << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  table_ = db_->GetTable("t");
+  ASSERT_NE(table_, nullptr);
+  EXPECT_EQ(db_->restart_stats().torn_pages_repaired, bad.size())
+      << "every CRC-failing page (and nothing else) must be rebuilt";
+  VerifyDatabaseState(db_.get(), &trace_, seed);
+  CheckRestartConsistency(db_.get(), seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TornWriteTest,
+                         ::testing::ValuesIn(StressSeeds(32)));
+
+// ---------------------------------------------------------------------------
+// Fault class 2: a log flush persists only a prefix of the tail and fails.
+// Transactions whose commit record sat in that tail are in doubt: recovery
+// must land each of them entirely before or entirely after, never half-way.
+class PartialFlushTest : public FaultClassTest {};
+
+TEST_P(PartialFlushTest, PartiallyFlushedTailRecoversAtomically) {
+  const uint64_t seed = GetParam();
+  Random rnd(seed);
+  Open("fplog");
+  SeedBaseRows();
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kPartialFlush;
+  spec.site = FaultSite::kLogFlush;
+  spec.nth = rnd.Range(0, 10);
+  spec.keep_bytes = static_cast<uint32_t>(rnd.Range(0, 3000));
+  db_->fault_injector()->Arm(spec);
+  SCOPED_TRACE("spec " + spec.ToString());
+
+  RunFaultWorkload(db_.get(), table_, seed, WorkloadParams{}, &trace_);
+
+  CrashAndRecover();
+  VerifyDatabaseState(db_.get(), &trace_, seed);
+  CheckRestartConsistency(db_.get(), seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialFlushTest,
+                         ::testing::ValuesIn(StressSeeds(32)));
+
+// ---------------------------------------------------------------------------
+// Fault class 3: a transient IOError at a seed-chosen site, healing after
+// `repeat` failures. The workload retries every Commit/Rollback to a
+// definite outcome, so the database must be exactly the committed model —
+// live (catches dirty pages destroyed by a failed eviction write-back) and
+// again after a crash.
+class TransientErrorTest : public FaultClassTest {};
+
+TEST_P(TransientErrorTest, TransientIoErrorsNeverLoseCommittedData) {
+  const uint64_t seed = GetParam();
+  Random rnd(seed);
+  Open("ftrans");
+  SeedBaseRows();
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransientError;
+  spec.site = static_cast<FaultSite>(rnd.Uniform(kFaultSiteCount));
+  spec.nth = rnd.Range(0, 30);
+  spec.repeat = static_cast<uint32_t>(rnd.Range(1, 3));
+  spec.freeze_after = false;
+  db_->fault_injector()->Arm(spec);
+  SCOPED_TRACE("spec " + spec.ToString());
+
+  WorkloadParams p;
+  p.stop_on_trip = false;
+  p.retry_errors = true;
+  RunFaultWorkload(db_.get(), table_, seed, p, &trace_);
+  db_->fault_injector()->Disarm();
+  ASSERT_TRUE(trace_.indoubt.empty())
+      << "transient errors heal; every commit must reach a definite outcome";
+
+  {
+    SCOPED_TRACE("live verify (pre-crash)");
+    VerifyDatabaseState(db_.get(), &trace_, seed);
+  }
+
+  CrashAndRecover();
+  {
+    SCOPED_TRACE("post-recovery verify");
+    VerifyDatabaseState(db_.get(), &trace_, seed);
+  }
+  CheckRestartConsistency(db_.get(), seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransientErrorTest,
+                         ::testing::ValuesIn(StressSeeds(32)));
+
+// ---------------------------------------------------------------------------
+// Fault class 4: SimulateTornCrash — a clean workload, then the crash
+// itself leaves the files mid-write: either a torn data page (chosen from
+// the dirty page table, so restart redo is guaranteed to visit it) or a log
+// tail truncated at a seed-chosen byte at or above the last committed
+// flush.
+class TornCrashTest : public FaultClassTest {};
+
+TEST_P(TornCrashTest, TornCrashStateIsRecoverable) {
+  const uint64_t seed = GetParam();
+  Random rnd(seed);
+  Open("fcrash");
+  SeedBaseRows();
+
+  WorkloadParams p;
+  p.stop_on_trip = false;
+  RunFaultWorkload(db_.get(), table_, seed, p, &trace_);
+  ASSERT_TRUE(trace_.indoubt.empty()) << "no fault was armed";
+  Lsn committed_flushed = db_->wal()->flushed_lsn();
+
+  // Leave one transaction in flight across the crash.
+  Transaction* inflight = db_->Begin();
+  ASSERT_OK(table_->Insert(inflight, {"zz-inflight", "boom"}));
+  ASSERT_OK(db_->wal()->FlushAll());
+
+  auto dpt = db_->pool()->DirtyPageTable();
+  bool tore_page = rnd.Percent(50) && !dpt.empty();
+  TornCrashSpec spec;
+  if (tore_page) {
+    // Tear a page that is in the restart dirty page table: redo must fetch
+    // it, trip over the CRC, and rebuild it.
+    ASSERT_OK(db_->FlushAllPages());
+    spec.target = TornCrashSpec::Target::kDataPage;
+    spec.page_id = dpt[rnd.Uniform(dpt.size())].first;
+    spec.keep_bytes = static_cast<uint32_t>(
+        rnd.Range(0, FaultTestOptions().page_size - 64));
+  } else {
+    // Truncate the log tail anywhere in [last committed flush, end): every
+    // commit record survives; the in-flight transaction's tail (and
+    // possibly a record cut in half) does not.
+    spec.target = TornCrashSpec::Target::kLogTail;
+    spec.truncate_to = rnd.Range(committed_flushed, db_->wal()->next_lsn());
+  }
+  SCOPED_TRACE("spec " + spec.ToString());
+
+  CrashAndRecover(spec);
+  if (tore_page) {
+    EXPECT_GE(db_->restart_stats().torn_pages_repaired, 1u)
+        << "page " << spec.page_id << " was torn on disk";
+  }
+  VerifyDatabaseState(db_.get(), &trace_, seed);
+  CheckRestartConsistency(db_.get(), seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TornCrashTest,
+                         ::testing::ValuesIn(StressSeeds(32)));
+
+// ---------------------------------------------------------------------------
+// Mid-SMO crash: truncate the log tail exactly at the last dummy CLR, so
+// the final split's structural records survive without the record that
+// closes their nested top action. Restart undo must physically invert the
+// incomplete SMO (paper §3, Figure 9) — observable as smo_structural_undos.
+TEST(FaultInjectionMidSmoTest, TruncatedTailLandsInsideSmo) {
+  TempDir dir("fsmo");
+  Options o = FaultTestOptions();
+  auto R = [](uint64_t i) {
+    return Rid{static_cast<PageId>(8000 + i / 50),
+               static_cast<uint16_t>(i % 50)};
+  };
+  constexpr uint64_t kCommitted = 12;
+  {
+    auto db = std::move(Database::Open(dir.path(), o)).value();
+    db->CreateTable("t", 1).value();
+    BTree* tree = db->CreateIndex("t", "ix", 0, false).value();
+    std::string fat(20, 's');
+    Transaction* setup = db->Begin();
+    for (uint64_t i = 0; i < kCommitted; ++i) {
+      ASSERT_OK(tree->Insert(setup, "k" + Random(0).Key(i, 6) + fat, R(i)));
+    }
+    ASSERT_OK(db->Commit(setup));
+    Lsn commit_flushed = db->wal()->flushed_lsn();
+
+    Transaction* loser = db->Begin();
+    uint64_t splits_before = db->metrics().smo_splits.load();
+    for (uint64_t i = 0; i < 120; ++i) {
+      ASSERT_OK(tree->Insert(loser, "x" + Random(0).Key(i, 6) + fat,
+                             R(100 + i)));
+    }
+    ASSERT_GT(db->metrics().smo_splits.load(), splits_before)
+        << "the loser must drive splits for the scenario to exist";
+    ASSERT_OK(db->wal()->FlushAll());
+
+    // Find the last dummy CLR after the commit: truncating at its LSN cuts
+    // it off while keeping all of its SMO's structural records.
+    Lsn last_dummy = kNullLsn;
+    LogManager::Reader reader(db->wal(), kLogFilePrologue);
+    LogRecord rec;
+    while (reader.Next(&rec).ok()) {
+      if (rec.IsDummyClr() && rec.lsn > commit_flushed) last_dummy = rec.lsn;
+    }
+    ASSERT_NE(last_dummy, kNullLsn);
+
+    TornCrashSpec spec;
+    spec.target = TornCrashSpec::Target::kLogTail;
+    spec.truncate_to = last_dummy;
+    ASSERT_OK(db->SimulateTornCrash(spec));
+  }
+  auto reopened = Database::Open(dir.path(), o);
+  ASSERT_TRUE(reopened.ok()) << "restart recovery failed: " << reopened.status().ToString();
+  auto db = std::move(reopened).value();
+  EXPECT_GT(db->metrics().smo_structural_undos.load(), 0u)
+      << "restart should have landed inside a nested top action";
+  size_t keys = 0;
+  ASSERT_OK(db->GetIndex("ix")->Validate(&keys));
+  EXPECT_EQ(keys, kCommitted);
+  testing::CheckRestartConsistency(db.get(), 0);
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -126,6 +128,69 @@ TEST(LogManagerTest, TornTailTruncatedOnReopen) {
     LogRecord out;
     ASSERT_OK(lm.ReadRecord(la, &out));
     EXPECT_EQ(out.payload, "good");
+  }
+}
+
+TEST(LogManagerTest, TruncationAtEveryTailBoundary) {
+  // One durable base record plus a 5-record tail. For every record boundary
+  // b[j] of the tail, truncating the file to b[j] (and to b[j] + a few
+  // mid-record bytes) must reopen with exactly the j complete tail records
+  // surviving and the append cursor at the last complete boundary.
+  TempDir dir("wal_bounds");
+  Metrics m;
+  std::string path = dir.path() + "/wal";
+  constexpr int kTail = 5;
+  std::vector<Lsn> bounds;  // bounds[j] = end of the j-th boundary
+  {
+    LogManager lm(path, &m, false);
+    ASSERT_OK(lm.Open());
+    LogRecord base = Update(1, "base-record");
+    Lsn cursor = lm.Append(&base).value() + base.SerializedSize();
+    bounds.push_back(cursor);
+    for (int i = 0; i < kTail; ++i) {
+      LogRecord r = Update(static_cast<TxnId>(i + 2),
+                           "tail-" + std::string(1 + 7 * i, 'x'));
+      cursor = lm.Append(&r).value() + r.SerializedSize();
+      bounds.push_back(cursor);
+    }
+    ASSERT_OK(lm.FlushAll());
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream full;
+  full << in.rdbuf();
+  const std::string image = full.str();
+  ASSERT_EQ(image.size(), bounds.back());
+
+  auto reopen_at = [&](uint64_t size, Lsn want_next, int want_records) {
+    SCOPED_TRACE("truncate to " + std::to_string(size));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(size));
+    out.close();
+    Metrics m2;
+    LogManager lm(path, &m2, false);
+    ASSERT_OK(lm.Open());
+    EXPECT_EQ(lm.next_lsn(), want_next)
+        << "append cursor must sit at the last complete record boundary";
+    EXPECT_EQ(lm.flushed_lsn(), want_next);
+    LogManager::Reader reader(&lm, kLogFilePrologue);
+    LogRecord rec;
+    int n = 0;
+    while (reader.Next(&rec).ok()) ++n;
+    EXPECT_EQ(n, want_records);
+  };
+
+  for (int j = kTail; j >= 0; --j) {
+    // Exactly at the boundary: 1 base + j tail records survive.
+    reopen_at(bounds[static_cast<size_t>(j)], bounds[static_cast<size_t>(j)],
+              1 + j);
+    // A few bytes into the next record (if any): the torn record is clipped.
+    if (j < kTail) {
+      for (uint64_t extra : {1ull, 5ull, 11ull}) {
+        uint64_t size = bounds[static_cast<size_t>(j)] + extra;
+        if (size >= bounds[static_cast<size_t>(j) + 1]) continue;
+        reopen_at(size, bounds[static_cast<size_t>(j)], 1 + j);
+      }
+    }
   }
 }
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under ThreadSanitizer and
+# AddressSanitizer (see ARIESIM_SANITIZE in the top-level CMakeLists).
+#
+#   tools/run_sanitized_tests.sh            # both sanitizers
+#   tools/run_sanitized_tests.sh thread     # TSan only
+#   tools/run_sanitized_tests.sh address    # ASan only
+#
+# Extra arguments after the sanitizer name are forwarded to ctest, e.g.
+#   tools/run_sanitized_tests.sh thread -R fault_injection
+# Stress-test seed lists can be narrowed for quicker sanitized runs:
+#   ARIESIM_STRESS_SEEDS=1-4 tools/run_sanitized_tests.sh thread
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=(thread address)
+if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" ) ]]; then
+  sanitizers=("$1")
+  shift
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for san in "${sanitizers[@]}"; do
+  build_dir="build-${san}san"
+  echo "=== ${san} sanitizer: configuring ${build_dir} ==="
+  cmake -B "${build_dir}" -S . -DARIESIM_SANITIZE="${san}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== ${san} sanitizer: building ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${san} sanitizer: running tests ==="
+  # halt_on_error makes a sanitizer report fail the test process (and thus
+  # ctest) instead of scrolling past.
+  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}" \
+  ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}" \
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
+  echo "=== ${san} sanitizer: PASS ==="
+done

@@ -10,6 +10,13 @@
 
 using namespace ariesim;
 
+static const char* HeapOpName(uint8_t op) {
+  static const char* kNames[] = {"?",      "insert",   "delete", "update",
+                                 "format", "set_next", "unformat", "revive",
+                                 "purge"};
+  return op <= 8 ? kNames[op] : "??";
+}
+
 static const char* BtOpName(uint8_t op) {
   static const char* kNames[] = {"?",        "insert_key", "delete_key",
                                  "format",   "unformat",   "truncate",
@@ -35,7 +42,30 @@ int main(int argc, char** argv) {
   while (reader.Next(&rec).ok()) {
     if (filter != kInvalidPageId && rec.page_id != filter) continue;
     std::string extra;
-    if (rec.rm == RmId::kBtree) {
+    if (rec.rm == RmId::kHeap) {
+      extra = std::string(" heap:") + HeapOpName(rec.op);
+      switch (rec.op) {
+        case heap::kOpInsert:
+        case heap::kOpDelete:
+        case heap::kOpUpdate:
+        case heap::kOpRevive:
+        case heap::kOpPurge: {
+          BufferReader r(rec.payload);
+          extra += " slot=" + std::to_string(r.GetFixed16());
+          break;
+        }
+        case heap::kOpSetNext: {
+          BufferReader r(rec.payload);
+          PageId old_next = r.GetFixed32();
+          PageId new_next = r.GetFixed32();
+          extra += " " + std::to_string(old_next) + "->" +
+                   std::to_string(new_next);
+          break;
+        }
+        default:
+          break;
+      }
+    } else if (rec.rm == RmId::kBtree) {
       extra = std::string(" bt:") + BtOpName(rec.op);
       if (rec.op == bt::kOpInsertKey || rec.op == bt::kOpDeleteKey) {
         std::string_view value;
