@@ -65,7 +65,8 @@ void RunSmoConcurrency(benchmark::State& state, bool blocking) {
       while (!stop.load()) {
         Transaction* txn = db->Begin();
         for (int j = 0; j < 20; ++j) {
-          (void)tree->Insert(txn, "k" + rnd.Key(i++, 7), BenchRid(i));
+          uint64_t id = i++;
+          (void)tree->Insert(txn, "k" + rnd.Key(id, 7), BenchRid(id));
         }
         (void)db->Commit(txn);
         writes.fetch_add(20);

@@ -8,6 +8,9 @@
 // locking ≥ index-specific > KVL (coarser value locks serialize readers
 // against writers of the same value and take more locks per op).
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -211,7 +214,150 @@ BENCHMARK(BM_HotValues_KVL)
     ->Arg(2)->Arg(4)->Arg(8)
     ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Commit-throughput sweep: the group-commit experiment, machine-readable.
+//
+// threads × {group_off, group_on, async} with the log fsync ENABLED — this
+// is the one benchmark here that measures the disk, because the commit rule
+// is the one place the protocol must wait for it. Each transaction inserts
+// one fresh key (disjoint per-thread keyspaces, so commits/s is flush-bound,
+// not lock-bound). Emits a JSON array for the bench trajectory:
+//
+//   ./bench_throughput --commit_json=BENCH_commit.json
+//
+// (tools/run_commit_bench.sh wraps this.) Without the flag the binary runs
+// the usual google-benchmark suites.
+// ---------------------------------------------------------------------------
+
+namespace commitbench {
+
+struct CommitRow {
+  int threads;
+  std::string mode;
+  double seconds;
+  uint64_t commits;
+  uint64_t log_flushes;
+  uint64_t gc_batches;
+  uint64_t gc_txns;
+};
+
+CommitRow RunCommitConfig(int threads, const std::string& mode,
+                          int duration_ms) {
+  Options o;
+  o.buffer_pool_frames = 4096;
+  o.fsync_log = true;  // the whole point: commits must pay for durability
+  o.index_locking = LockingProtocolKind::kNone;
+  o.wal_group_commit = mode != "group_off";
+  o.wal_group_commit_mode = GroupCommitMode::kFlusher;
+  auto db = std::move(
+      Database::Open(FreshDir("commit_" + mode + std::to_string(threads)), o)
+          .value());
+  db->CreateTable("t", 2).value();
+  db->CreateIndex("t", "pk", 0, true).value();
+  Table* table = db->GetTable("t");
+
+  Metrics& m = db->metrics();
+  uint64_t flushes0 = m.log_flushes.load();
+  uint64_t batches0 = m.group_commit_batches.load();
+  uint64_t gctxns0 = m.group_commit_txns.load();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> commits{0};
+  std::vector<std::thread> ts;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      uint64_t i = 0;
+      const std::string prefix = "t" + std::to_string(t) + "-";
+      while (!stop.load(std::memory_order_relaxed)) {
+        Transaction* txn = db->Begin();
+        Status s = table->Insert(txn, {prefix + std::to_string(i++), "v"});
+        if (s.ok()) {
+          s = mode == "async" ? db->CommitAsync(txn) : db->Commit(txn);
+          if (s.ok()) commits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          (void)db->Rollback(txn);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop = true;
+  for (auto& t : ts) t.join();
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  (void)db->wal()->FlushAll();  // drain async tails before teardown
+
+  CommitRow row;
+  row.threads = threads;
+  row.mode = mode;
+  row.seconds = secs;
+  row.commits = commits.load();
+  row.log_flushes = m.log_flushes.load() - flushes0;
+  row.gc_batches = m.group_commit_batches.load() - batches0;
+  row.gc_txns = m.group_commit_txns.load() - gctxns0;
+  return row;
+}
+
+int RunCommitSweep(const std::string& json_path) {
+  std::vector<CommitRow> rows;
+  for (int threads : {1, 2, 4, 8}) {
+    for (const char* mode : {"group_off", "group_on", "async"}) {
+      CommitRow r = RunCommitConfig(threads, mode, /*duration_ms=*/400);
+      double cps = static_cast<double>(r.commits) / r.seconds;
+      fprintf(stderr, "commit sweep: threads=%d mode=%-9s commits/s=%10.0f flushes=%llu\n",
+              r.threads, r.mode.c_str(), cps,
+              static_cast<unsigned long long>(r.log_flushes));
+      rows.push_back(std::move(r));
+    }
+  }
+  std::ofstream out(json_path);
+  if (!out.is_open()) {
+    fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CommitRow& r = rows[i];
+    double cps = static_cast<double>(r.commits) / r.seconds;
+    double batch = r.gc_batches > 0 ? static_cast<double>(r.gc_txns) /
+                                          static_cast<double>(r.gc_batches)
+                                    : 0.0;
+    out << "  {\"threads\": " << r.threads << ", \"mode\": \"" << r.mode
+        << "\", \"seconds\": " << r.seconds << ", \"commits\": " << r.commits
+        << ", \"commits_per_sec\": " << static_cast<uint64_t>(cps)
+        << ", \"log_flushes\": " << r.log_flushes
+        << ", \"group_commit_batches\": " << r.gc_batches
+        << ", \"group_commit_txns\": " << r.gc_txns
+        << ", \"avg_batch_size\": " << batch << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace commitbench
+
 }  // namespace
 }  // namespace ariesim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--commit_json", 0) == 0) {
+      std::string path = "BENCH_commit.json";
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos && eq + 1 < arg.size()) {
+        path = arg.substr(eq + 1);
+      }
+      return ariesim::commitbench::RunCommitSweep(path);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -51,6 +51,18 @@ void BTree::WaitForSmo() {
   tree_latch_.LockInstant(LatchMode::kShared);
 }
 
+void BTree::LockTreeExclusiveCounted() {
+  bool waited = !tree_latch_.TryLockExclusive();
+  if (waited) tree_latch_.LockExclusive();
+  if (ctx_->metrics != nullptr) {
+    if (waited) {
+      ctx_->metrics->tree_latch_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
+                                                     std::memory_order_relaxed);
+  }
+}
+
 Status BTree::TraverseToLeaf(std::string_view value, Rid rid, bool for_modify,
                              PageGuard* leaf, bool tree_latch_held) {
   for (int restart = 0; restart < kMaxRestarts; ++restart) {
@@ -527,11 +539,7 @@ Status BTree::Delete(Transaction* txn, std::string_view value, Rid rid) {
     if (tree_x_released) have_tree_x = false;
     if (s.IsRetry()) {
       if (needs_tree_x && !have_tree_x && !baseline_x) {
-        tree_latch_.LockExclusive();
-        if (ctx_->metrics != nullptr) {
-          ctx_->metrics->tree_latch_acquisitions.fetch_add(
-              1, std::memory_order_relaxed);
-        }
+        LockTreeExclusiveCounted();
         have_tree_x = true;
       }
       continue;

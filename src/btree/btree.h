@@ -153,6 +153,9 @@ class BTree {
   /// Wait out an in-progress SMO: release nothing (caller already did),
   /// instant-S the tree latch.
   void WaitForSmo();
+  /// Blocking X acquisition of the tree latch, counting the acquisition and
+  /// (when contended) a tree_latch_wait.
+  void LockTreeExclusiveCounted();
 
   /// Path of page ids root→leaf; only valid while the tree latch is held X.
   Status TraversePath(std::string_view value, Rid rid,

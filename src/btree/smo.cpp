@@ -40,11 +40,7 @@ Status BTree::SplitSmoAndInsert(Transaction* txn, std::string_view value,
   }
   bool baseline = ctx_->options.block_traversal_during_smo;
   if (!baseline) {
-    tree_latch_.LockExclusive();
-    if (ctx_->metrics != nullptr) {
-      ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
-                                                       std::memory_order_relaxed);
-    }
+    LockTreeExclusiveCounted();
   }
   Status result = Status::Corruption("split loop did not settle");
   bool latch_released = false;

@@ -227,11 +227,7 @@ Status BTree::LogicalUndoInsert(Transaction* txn, const LogRecord& rec,
     // Removing the key empties the page: page-delete SMO required (§3
     // reason 4). Serialize via the tree latch and redo the undo under it.
     leaf.Release();
-    tree_latch_.LockExclusive();
-    if (ctx_->metrics != nullptr) {
-      ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
-                                                       std::memory_order_relaxed);
-    }
+    LockTreeExclusiveCounted();
     Status s = [&]() -> Status {
       PageGuard xleaf;
       ARIES_RETURN_NOT_OK(TraverseToLeaf(value, rid, /*for_modify=*/true,
@@ -330,11 +326,7 @@ Status BTree::LogicalUndoDelete(Transaction* txn, const LogRecord& rec,
     // action is anchored at rec.lsn so a crash after the dummy CLR but
     // before the insert CLR resumes by re-undoing this record.
     leaf.Release();
-    tree_latch_.LockExclusive();
-    if (ctx_->metrics != nullptr) {
-      ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
-                                                       std::memory_order_relaxed);
-    }
+    LockTreeExclusiveCounted();
     Status s = [&]() -> Status {
       txn->BeginNtaAt(rec.lsn);
       std::vector<PageId> touched;

@@ -30,6 +30,12 @@ struct Metrics {
   std::atomic<uint64_t> log_records{0};
   std::atomic<uint64_t> log_bytes{0};
 
+  // Group commit (see docs/METRICS.md for the coalescing-ratio derivation).
+  /// Group flushes that actually wrote a batch of the tail.
+  std::atomic<uint64_t> group_commit_batches{0};
+  /// Commits (sync and async) whose durability rode the group machinery.
+  std::atomic<uint64_t> group_commit_txns{0};
+
   // B-tree.
   std::atomic<uint64_t> smo_splits{0};
   std::atomic<uint64_t> smo_page_deletes{0};
@@ -56,7 +62,8 @@ struct Metrics {
     z(lock_requests); z(locks_granted); z(lock_waits); z(lock_conditional_denied);
     z(deadlocks); z(page_latch_acquisitions); z(tree_latch_acquisitions);
     z(tree_latch_waits); z(pages_read); z(pages_written); z(log_flushes);
-    z(log_records); z(log_bytes); z(smo_splits); z(smo_page_deletes);
+    z(log_records); z(log_bytes); z(group_commit_batches); z(group_commit_txns);
+    z(smo_splits); z(smo_page_deletes);
     z(traversal_restarts); z(smo_waits); z(page_oriented_undos); z(logical_undos);
     z(smo_structural_undos); z(redo_records_applied); z(redo_records_skipped);
     z(undo_records); z(torn_pages_repaired);
@@ -69,7 +76,11 @@ struct Metrics {
     return "locks=" + g(locks_granted) + " lock_waits=" + g(lock_waits) +
            " deadlocks=" + g(deadlocks) + " reads=" + g(pages_read) +
            " writes=" + g(pages_written) + " log_recs=" + g(log_records) +
+           " log_bytes=" + g(log_bytes) + " log_flushes=" + g(log_flushes) +
+           " gc_batches=" + g(group_commit_batches) +
+           " gc_txns=" + g(group_commit_txns) +
            " splits=" + g(smo_splits) + " page_dels=" + g(smo_page_deletes) +
+           " restarts=" + g(traversal_restarts) +
            " po_undos=" + g(page_oriented_undos) + " log_undos=" + g(logical_undos);
   }
 };

@@ -38,6 +38,12 @@ Status Database::DoOpen(const std::string& dir) {
                                       options_.log_buffer_size);
   log_->SetFaultInjector(&fault_);
   ARIES_RETURN_NOT_OK(log_->Open());
+  log_->EnableGroupCommit(options_.wal_group_commit,
+                          options_.wal_group_commit_delay_us);
+  if (options_.wal_group_commit &&
+      options_.wal_group_commit_mode == GroupCommitMode::kFlusher) {
+    log_->StartFlusher();
+  }
   pool_ = std::make_unique<BufferPool>(disk_.get(), log_.get(),
                                        options_.buffer_pool_frames, &metrics_,
                                        options_.verify_checksums);
@@ -130,6 +136,15 @@ Transaction* Database::Begin() { return txns_->Begin(); }
 
 Status Database::Commit(Transaction* txn) {
   ARIES_RETURN_NOT_OK(txns_->Commit(txn));
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::CommitAsync(Transaction* txn) {
+  ARIES_RETURN_NOT_OK(txns_->CommitAsync(txn));
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::MaybeAutoCheckpoint() {
   // Automatic fuzzy checkpointing: bound restart work by log growth.
   uint64_t interval = options_.checkpoint_interval_bytes;
   if (interval > 0) {
@@ -257,6 +272,11 @@ Status Database::FlushPage(PageId id) { return pool_->FlushPage(id); }
 Status Database::FlushAllPages() { return pool_->FlushAll(); }
 
 void Database::SimulateCrash() {
+  // Drain the group-commit flusher before discarding the tail so no flush
+  // races the discard. In-flight committers fail over to the leader path
+  // and observe either durability or the discarded tail (an error — their
+  // commits were never acknowledged).
+  log_->StopFlusher();
   log_->DiscardUnflushed();
   pool_->DropAll();
   crashed_ = true;

@@ -39,6 +39,11 @@ class Database {
   // -- transactions --------------------------------------------------------
   Transaction* Begin();
   Status Commit(Transaction* txn);
+  /// Lazy commit: locks are released before the commit record is durable;
+  /// durability arrives with the next group-commit flush. A crash in the
+  /// window may erase the transaction — atomically. Opt-in trade of the
+  /// ACID "D" for latency; see docs/ARCHITECTURE.md "Group commit".
+  Status CommitAsync(Transaction* txn);
   Status Rollback(Transaction* txn);
   Status RollbackToSavepoint(Transaction* txn, Lsn savepoint);
 
@@ -89,6 +94,7 @@ class Database {
  private:
   explicit Database(Options options);
   Status DoOpen(const std::string& dir);
+  Status MaybeAutoCheckpoint();
   Status LoadObjects();
   BTree* MaterializeIndex(const IndexMeta& meta);
 

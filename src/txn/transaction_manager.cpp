@@ -56,7 +56,25 @@ Status TransactionManager::Commit(Transaction* txn) {
   commit.type = LogType::kCommit;
   ARIES_ASSIGN_OR_RETURN(Lsn lsn, AppendTxnLog(txn, &commit));
   // Commit rule: force the log up to and including the commit record.
-  ARIES_RETURN_NOT_OK(log_->FlushTo(lsn + commit.SerializedSize()));
+  // CommitFlush coalesces with concurrent committers when group commit is
+  // on; a returned error means the commit record is NOT durable and the
+  // transaction must not be acknowledged (locks stay held — after a crash
+  // the transaction either survives whole or is rolled back by restart).
+  ARIES_RETURN_NOT_OK(log_->CommitFlush(lsn + commit.SerializedSize()));
+  return EndTransaction(txn, TxnState::kCommitted);
+}
+
+Status TransactionManager::CommitAsync(Transaction* txn) {
+  LogRecord commit;
+  commit.type = LogType::kCommit;
+  ARIES_ASSIGN_OR_RETURN(Lsn lsn, AppendTxnLog(txn, &commit));
+  // Lazy commit: enqueue the durability request and release locks without
+  // waiting for the flush. Trades the D of ACID at crash time — a crash
+  // before the next group flush forgets this transaction (atomically, via
+  // restart undo) — for commit latency. Reads-from ordering stays safe:
+  // any later transaction that saw our writes has a larger commit LSN, so
+  // it can only be durable if we are.
+  log_->RequestFlush(lsn + commit.SerializedSize());
   return EndTransaction(txn, TxnState::kCommitted);
 }
 

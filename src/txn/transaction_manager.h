@@ -36,6 +36,12 @@ class TransactionManager {
 
   Transaction* Begin();
   Status Commit(Transaction* txn);
+  /// Lazy (asynchronous-durability) commit: append the commit record,
+  /// request — but do not await — its group flush, and release locks
+  /// immediately. A crash before the flush erases the transaction
+  /// atomically; an explicit FlushAll (or any later synchronous commit)
+  /// hardens it. Benchmark/opt-in path; Commit() is the ACID one.
+  Status CommitAsync(Transaction* txn);
   /// Total rollback, then end. The transaction object stays valid (state
   /// kAborted) until released by the caller.
   Status Rollback(Transaction* txn);

@@ -4,7 +4,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -65,6 +67,7 @@ Status LogManager::Open() {
 }
 
 void LogManager::Close() {
+  StopFlusher();
   if (fd_ >= 0) {
     FlushAll();
     ::close(fd_);
@@ -134,6 +137,10 @@ Status LogManager::FlushLocked() {
   if (metrics_ != nullptr) {
     metrics_->log_flushes.fetch_add(1, std::memory_order_relaxed);
   }
+  // Any flush can satisfy group-commit waiters (capacity spills and WAL-rule
+  // forces advance flushed_lsn_ too). Notifying without gc_mu_ is legal; the
+  // waiters re-check their predicate under gc_mu_.
+  if (group_commit_) gc_cv_.notify_all();
   return Status::OK();
 }
 
@@ -144,6 +151,156 @@ Status LogManager::FlushTo(Lsn lsn) {
 }
 
 Status LogManager::FlushAll() { return FlushTo(next_lsn_); }
+
+// -- group commit -----------------------------------------------------------
+
+void LogManager::EnableGroupCommit(bool enabled, uint32_t max_delay_us) {
+  group_commit_ = enabled;
+  gc_delay_us_ = max_delay_us;
+}
+
+Status LogManager::CommitFlush(Lsn lsn) {
+  if (!group_commit_) return FlushTo(lsn);
+  return GroupCommitFlush(lsn);
+}
+
+void LogManager::RequestFlush(Lsn lsn) {
+  if (metrics_ != nullptr && group_commit_) {
+    metrics_->group_commit_txns.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lk(gc_mu_);
+  gc_requested_ = std::max(gc_requested_, lsn);
+  flusher_cv_.notify_one();
+}
+
+Status LogManager::GroupFlushAttempt(Lsn* end_out) {
+  Lsn before = flushed_lsn();
+  Status s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    *end_out = next_lsn_.load(std::memory_order_relaxed);
+    s = FlushLocked();
+  }
+  if (metrics_ != nullptr && s.ok() && flushed_lsn() > before) {
+    metrics_->group_commit_batches.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Status LogManager::GroupCommitFlush(Lsn lsn) {
+  if (metrics_ != nullptr) {
+    metrics_->group_commit_txns.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  // One forced re-flush per waiter: if the attempt that covered us failed
+  // (e.g. a transient error that has since healed), roll the attempt
+  // watermark back once so the executor tries again for us; a second
+  // covered failure is final.
+  bool retried = false;
+  for (;;) {
+    if (flushed_lsn() >= lsn) return Status::OK();
+    // Crash simulation discarded the tail out from under us: our record no
+    // longer exists and can never become durable.
+    if (lsn > next_lsn()) {
+      return Status::IOError("log tail discarded before commit flush");
+    }
+    if (!gc_status_.ok() && gc_attempted_ >= lsn) {
+      if (retried) return gc_status_;
+      retried = true;
+      gc_attempted_ = flushed_lsn();
+    }
+    gc_requested_ = std::max(gc_requested_, lsn);
+    uint64_t round = gc_round_;
+    if (flusher_running_.load(std::memory_order_acquire)) {
+      // Flusher mode: hand the batch to the dedicated thread and wait for
+      // durability or the verdict of an attempt that covered us. The
+      // timeout is a lost-wakeup backstop (flushes from Append's capacity
+      // spill notify without gc_mu_); the outer loop re-checks everything.
+      flusher_cv_.notify_one();
+      gc_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+        return flushed_lsn() >= lsn || gc_round_ != round ||
+               lsn > next_lsn() ||
+               !flusher_running_.load(std::memory_order_acquire);
+      });
+      continue;
+    }
+    // Leader mode. If a leader is already flushing, wait out its round —
+    // our record, appended before its flush takes mu_, usually rides it.
+    if (gc_leader_active_) {
+      gc_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+        return flushed_lsn() >= lsn || gc_round_ != round ||
+               lsn > next_lsn() || !gc_leader_active_;
+      });
+      continue;
+    }
+    // Become the leader: flush the whole tail on behalf of every waiter.
+    gc_leader_active_ = true;
+    lk.unlock();
+    if (gc_delay_us_ > 0) {
+      // Batch-accumulation window: appends only need mu_, so concurrent
+      // committers can still add their commit records to the tail we are
+      // about to flush.
+      std::this_thread::sleep_for(std::chrono::microseconds(gc_delay_us_));
+    }
+    Lsn end = 0;
+    Status s = GroupFlushAttempt(&end);
+    lk.lock();
+    gc_leader_active_ = false;
+    ++gc_round_;
+    gc_status_ = s;
+    gc_attempted_ = std::max(gc_attempted_, end);
+    gc_cv_.notify_all();
+    if (!s.ok() && end >= lsn) return s;
+  }
+}
+
+void LogManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  while (flusher_run_) {
+    // A request is pending when someone asked for a boundary beyond both
+    // the durable prefix and the last attempt. Comparing against
+    // gc_attempted_ (not just flushed_lsn) keeps a frozen device from
+    // spinning hot: a failed attempt answers every request it covered.
+    if (gc_requested_ <= std::max(flushed_lsn(), gc_attempted_)) {
+      flusher_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+        return !flusher_run_ ||
+               gc_requested_ > std::max(flushed_lsn(), gc_attempted_);
+      });
+      continue;
+    }
+    lk.unlock();
+    if (gc_delay_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(gc_delay_us_));
+    }
+    Lsn end = 0;
+    Status s = GroupFlushAttempt(&end);
+    lk.lock();
+    ++gc_round_;
+    gc_status_ = s;
+    gc_attempted_ = std::max(gc_attempted_, end);
+    gc_cv_.notify_all();
+  }
+}
+
+void LogManager::StartFlusher() {
+  std::lock_guard<std::mutex> lk(gc_mu_);
+  if (flusher_run_) return;
+  flusher_run_ = true;
+  flusher_running_.store(true, std::memory_order_release);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void LogManager::StopFlusher() {
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    if (!flusher_run_ && !flusher_.joinable()) return;
+    flusher_run_ = false;
+    flusher_running_.store(false, std::memory_order_release);
+    flusher_cv_.notify_all();
+    gc_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+}
 
 Status LogManager::ReadFromFile(Lsn lsn, LogRecord* out) {
   char hdr[kLogHeaderSize];
@@ -182,10 +339,20 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
 }
 
 void LogManager::DiscardUnflushed() {
-  std::lock_guard<std::mutex> lk(mu_);
-  buffer_.clear();
-  next_lsn_ = flushed_lsn_.load();
-  buffer_base_ = flushed_lsn_.load();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    buffer_.clear();
+    next_lsn_ = flushed_lsn_.load();
+    buffer_base_ = flushed_lsn_.load();
+  }
+  // Wake group-commit waiters whose records were just discarded (they see
+  // lsn > next_lsn and return an error: their commits were never
+  // acknowledged) and reset the batching watermarks to the durable prefix.
+  std::lock_guard<std::mutex> lk(gc_mu_);
+  gc_requested_ = flushed_lsn();
+  gc_attempted_ = flushed_lsn();
+  gc_cv_.notify_all();
+  flusher_cv_.notify_all();
 }
 
 Status LogManager::WriteMaster(Lsn checkpoint_lsn) {

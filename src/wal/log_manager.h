@@ -1,17 +1,29 @@
-// Append-only log manager with an in-memory tail buffer.
+// Append-only log manager with an in-memory tail buffer and a group-commit
+// pipeline for the commit-path log force.
 //
 // WAL contracts enforced here and by callers:
 //  - BufferPool forces FlushTo(page_LSN) before a dirty page is stolen.
-//  - TransactionManager forces FlushTo(commit_LSN) at commit.
+//  - TransactionManager forces CommitFlush(commit record end) at commit.
 //  - A simulated crash discards the tail buffer; the file then ends exactly
 //    at the durable prefix, and restart recovery scans from the master
 //    record's checkpoint.
+//
+// Group commit (docs/ARCHITECTURE.md has the full design): committing
+// transactions do not each run their own write+fsync. They register the LSN
+// they need durable and block on a condition variable; one flush — executed
+// either by a dedicated flusher thread (StartFlusher) or by an elected
+// leader among the waiters — covers the whole tail and wakes every waiter
+// whose boundary is now durable. A flush failure is delivered to exactly
+// the waiters the failed attempt covered, so an acknowledged Commit() is
+// durable under every fault the injector can produce.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -38,9 +50,55 @@ class LogManager {
   /// Append `rec` (assigning rec->lsn) and return the assigned LSN.
   Result<Lsn> Append(LogRecord* rec);
 
-  /// Make all records with lsn <= `lsn` durable.
+  /// Make the record starting at `lsn` (and everything before it) durable.
+  ///
+  /// Deliberately flushes the *entire* tail, not just the prefix up to
+  /// `lsn`. This is intentional, not sloppiness:
+  ///  - the tail is one contiguous buffer, so the extra bytes ride the same
+  ///    pwrite and the same fdatasync — a boundary-exact flush would cost
+  ///    the identical syscalls plus buffer-splitting bookkeeping;
+  ///  - under WAL, durability claims only ever strengthen: flushing more
+  ///    than asked can never violate a contract;
+  ///  - under group commit the over-flush is the whole point — it is what
+  ///    folds every concurrently appended commit record into this batch;
+  ///  - the WAL rule caller (BufferPool::WriteFrame) passes the *start*
+  ///    LSN of the page's last record, and the whole-tail policy is what
+  ///    guarantees that record's tail end is durable too.
+  /// flushed_lsn() therefore typically advances past `lsn`.
   Status FlushTo(Lsn lsn);
   Status FlushAll();
+
+  // -- group commit -------------------------------------------------------
+
+  /// Commit-path log force: make the log prefix [0, `lsn`) durable, where
+  /// `lsn` is the byte just past the commit record. With group commit
+  /// enabled, coalesces with every concurrent committer into shared
+  /// batches; otherwise equivalent to FlushTo. Blocks until the prefix is
+  /// durable or the flush that covered it failed (the error is returned to
+  /// every covered waiter — their commits are NOT acknowledged).
+  Status CommitFlush(Lsn lsn);
+
+  /// Lazy-commit durability request: ask for [0, `lsn`) to become durable
+  /// soon, without waiting. Nudges the flusher thread when one runs;
+  /// otherwise the request rides the next flush (commit force, capacity
+  /// spill, or Close). Used by TransactionManager::CommitAsync.
+  void RequestFlush(Lsn lsn);
+
+  /// Configure group commit. Call before concurrent use (Database::Open
+  /// does). `max_delay_us` stretches each batch window to accumulate more
+  /// committers; 0 flushes as soon as the executor picks the batch up.
+  void EnableGroupCommit(bool enabled, uint32_t max_delay_us);
+
+  /// Start the dedicated flusher thread (GroupCommitMode::kFlusher). With
+  /// no flusher running, committers elect a leader among themselves.
+  void StartFlusher();
+  /// Stop and join the flusher thread. Blocked committers fail over to the
+  /// leader protocol, so none is stranded. Safe to call repeatedly; Close
+  /// and Database::SimulateCrash call it.
+  void StopFlusher();
+  bool flusher_running() const {
+    return flusher_running_.load(std::memory_order_acquire);
+  }
 
   /// Read the record whose LSN is `lsn` (from the tail buffer or the file).
   Status ReadRecord(Lsn lsn, LogRecord* out);
@@ -93,6 +151,13 @@ class LogManager {
   Status ReadFromFile(Lsn lsn, LogRecord* out);
   /// Flush the whole tail; caller holds mu_.
   Status FlushLocked();
+  /// One group flush: take mu_, flush the whole tail, record the batch
+  /// metric. `*end_out` receives the boundary the attempt covered (the
+  /// next_lsn at flush time) — waiters at or below it have their answer.
+  Status GroupFlushAttempt(Lsn* end_out);
+  /// The blocking group-commit protocol behind CommitFlush.
+  Status GroupCommitFlush(Lsn lsn);
+  void FlusherLoop();
 
   std::string path_;
   Metrics* metrics_;
@@ -109,6 +174,25 @@ class LogManager {
   std::atomic<Lsn> next_lsn_{0};
   std::atomic<Lsn> flushed_lsn_{0};  // records below this are durable
   std::atomic<Lsn> last_lsn_{kNullLsn};
+
+  // -- group-commit coordination ------------------------------------------
+  // gc_mu_ guards only the coordination state below; the flush itself runs
+  // under mu_. Nobody ever waits for mu_ while holding gc_mu_ (both the
+  // leader and the flusher drop gc_mu_ before taking mu_), so the two
+  // mutexes cannot deadlock.
+  bool group_commit_ = false;   // set before concurrent use
+  uint32_t gc_delay_us_ = 0;    // batch-accumulation window
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;       // committers await durability
+  std::condition_variable flusher_cv_;  // flusher awaits work
+  Lsn gc_requested_ = 0;   // highest durability boundary asked for
+  Lsn gc_attempted_ = 0;   // boundary covered by the last flush attempt
+  uint64_t gc_round_ = 0;  // completed flush attempts (ok or not)
+  Status gc_status_;       // outcome of the last attempt
+  bool gc_leader_active_ = false;  // leader mode: a leader is flushing
+  bool flusher_run_ = false;       // flusher thread keep-running flag
+  std::atomic<bool> flusher_running_{false};
+  std::thread flusher_;
 };
 
 }  // namespace ariesim

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Build and run the group-commit throughput sweep, emitting BENCH_commit.json
+# at the repo root. See docs/ARCHITECTURE.md "Group commit" and ISSUE/PR 2.
+#
+# Usage: tools/run_commit_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_commit.json}"
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_throughput >/dev/null
+./build/bench/bench_throughput --commit_json="${OUT}"
+echo "done: ${OUT}"
