@@ -251,7 +251,7 @@ class BtreeResourceManager final : public ResourceManager {
   BtreeResourceManager(EngineContext* ctx, TreeResolver resolver)
       : ctx_(ctx), resolver_(std::move(resolver)) {}
 
-  Status Redo(const LogRecord& rec, PageGuard& page) override;
+  Status Redo(const LogRecord& rec, PageView page) override;
   Status Undo(Transaction* txn, const LogRecord& rec) override;
 
  private:

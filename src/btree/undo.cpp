@@ -20,8 +20,8 @@ Result<Lsn> LogBtree(EngineContext* ctx, Transaction* txn, uint8_t op,
                      PageId page, std::string payload, bool clr,
                      Lsn undo_next);  // defined in smo.cpp
 
-Status BtreeResourceManager::Redo(const LogRecord& rec, PageGuard& page) {
-  return bt::Apply(rec.op, rec.payload, page.view());
+Status BtreeResourceManager::Redo(const LogRecord& rec, PageView page) {
+  return bt::Apply(rec.op, rec.payload, page);
 }
 
 namespace {

@@ -112,15 +112,36 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
     if (s.ok()) {
       s = disk_->ReadPage(id, victim->data.get());
       if (s.ok() && verify_checksums_) {
-        PageView v(victim->data.get(), page_size_);
+        char* data = victim->data.get();
+        PageView v(data, page_size_);
         if (v.type() != PageType::kInvalid) {
-          uint32_t crc = crc32c::Value(victim->data.get() + 4, page_size_ - 4);
-          if (v.checksum() != 0 && v.checksum() != crc32c::Mask(crc)) {
+          uint32_t crc = crc32c::Value(data + 4, page_size_ - 4);
+          if (v.checksum() != crc32c::Mask(crc)) {
             s = Status::Corruption("page " + std::to_string(id) +
                                    " checksum mismatch");
           }
+        } else {
+          // A genuinely never-written page is all zero. Anything else is
+          // rot hiding behind a cleared type byte — a zero "checksum" must
+          // not buy a free pass (the old `checksum() != 0` escape did).
+          for (size_t i = 0; i < page_size_; i++) {
+            if (data[i] != 0) {
+              s = Status::Corruption("page " + std::to_string(id) +
+                                     " unformatted but not blank");
+              break;
+            }
+          }
         }
       }
+    }
+    if (!s.ok() && victim_persisted && repair_ &&
+        (s.code() == Code::kCorruption || s.code() == Code::kIOError)) {
+      // Online quarantine + repair: `id` still sits in io_in_progress_, so
+      // no guard on this page exists anywhere and no new log records for it
+      // can be appended while the handler replays its history into the
+      // claimed frame. Other pages keep flowing normally.
+      Status rs = repair_(id, victim->data.get());
+      if (rs.ok()) s = Status::OK();
     }
 
     if (s.ok()) {
@@ -222,8 +243,10 @@ Status BufferPool::WriteFrame(Frame* frame) {
   uint32_t crc = crc32c::Value(frame->data.get() + 4, page_size_ - 4);
   v.set_checksum(crc32c::Mask(crc));
   if (fault_ != nullptr) {
-    FaultAction a = fault_->OnIo(FaultSite::kEvictWrite, page_size_);
-    if (a.kind != FaultAction::Kind::kProceed) {
+    FaultAction a = fault_->OnIo(FaultSite::kEvictWrite, page_size_,
+                                 frame->page_id);
+    if (a.kind != FaultAction::Kind::kProceed &&
+        a.kind != FaultAction::Kind::kCorrupt) {
       return Status::IOError("fault injection: write-back of page " +
                              std::to_string(frame->page_id));
     }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -129,6 +130,18 @@ class BufferPool {
   /// Pass nullptr to detach. The injector must outlive this BufferPool.
   void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
+  /// Online media recovery hook: called from a fetch miss whose read failed
+  /// its checksum (or kept failing with an I/O error past disk retries),
+  /// with the page still quarantined in io_in_progress_ — no guard on it
+  /// can exist, so no new log records for it can be appended. The handler
+  /// rebuilds the page image into the supplied frame buffer (and persists
+  /// it); on OK the fetch proceeds as if the read had succeeded. An empty
+  /// handler disables online repair.
+  using RepairHandler = std::function<Status(PageId, char*)>;
+  void SetRepairHandler(RepairHandler handler) {
+    repair_ = std::move(handler);
+  }
+
   /// Snapshot of the dirty page table for fuzzy checkpoints.
   std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
 
@@ -158,6 +171,7 @@ class BufferPool {
   LogManager* log_;
   Metrics* metrics_;
   FaultInjector* fault_ = nullptr;
+  RepairHandler repair_;
   size_t page_size_;
   bool verify_checksums_;
 

@@ -85,6 +85,24 @@ struct Options {
   /// Fire a checkpoint automatically after this many log bytes (0 = never).
   uint64_t checkpoint_interval_bytes = 0;
 
+  /// Total attempts (first try + retries) the DiskManager makes for a page
+  /// read/write/sync that fails with an I/O error before giving up. 1 = no
+  /// retry. Retries back off exponentially from io_retry_base_delay_us,
+  /// doubling per attempt, clamped to io_retry_max_delay_us.
+  int io_retry_attempts = 4;
+  uint32_t io_retry_base_delay_us = 50;
+  uint32_t io_retry_max_delay_us = 2000;
+
+  /// Rebuild a page whose fetch fails its checksum (or keeps failing with a
+  /// read error past retries) from the WAL in place, without a restart. When
+  /// false such a fetch surfaces the error to the caller as before.
+  bool online_page_repair = true;
+
+  /// Consecutive WAL flush failures (past disk retries) before the engine
+  /// trips kHealthy -> kReadOnly; at twice this count it trips kFailed.
+  /// 0 disables the trip.
+  uint32_t log_flush_failure_threshold = 8;
+
   /// Simulated device latency added to every page read/write, in
   /// microseconds (0 = none). The benchmark substrate knob: on a machine
   /// whose files sit in the OS page cache, real I/O latency vanishes and

@@ -14,6 +14,7 @@ class LockManager;
 class TransactionManager;
 class SpaceManager;
 class RecoveryManager;
+class HealthMonitor;
 
 struct EngineContext {
   BufferPool* pool = nullptr;
@@ -23,6 +24,7 @@ struct EngineContext {
   TransactionManager* txns = nullptr;
   SpaceManager* space = nullptr;
   RecoveryManager* recovery = nullptr;
+  HealthMonitor* health = nullptr;
   Metrics* metrics = nullptr;
   Options options;
 };

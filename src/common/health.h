@@ -1,0 +1,73 @@
+// Fail-safe degradation state machine (see docs/ARCHITECTURE.md, "Engine
+// health"). The engine starts kHealthy; an unrepairable page or a WAL flush
+// that keeps failing past disk retries trips it to kReadOnly (writes are
+// rejected with Status::ReadOnly, reads are still served from intact pages)
+// or kFailed. Transitions are monotonic: the engine never self-promotes back
+// to a healthier state — only a fresh Open() after the fault is fixed does.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace ariesim {
+
+enum class EngineHealth : uint8_t {
+  kHealthy = 0,
+  kReadOnly = 1,  ///< writes rejected, reads served
+  kFailed = 2,    ///< storage no longer trustworthy; only Close() is useful
+};
+
+inline const char* EngineHealthName(EngineHealth h) {
+  switch (h) {
+    case EngineHealth::kHealthy: return "healthy";
+    case EngineHealth::kReadOnly: return "read-only";
+    case EngineHealth::kFailed: return "failed";
+  }
+  return "?";
+}
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(Metrics* metrics = nullptr) : metrics_(metrics) {}
+
+  EngineHealth state() const {
+    return static_cast<EngineHealth>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Fast-path gate for every write entry point. Lock-free while healthy.
+  Status CheckWritable() const {
+    EngineHealth h = state();
+    if (h == EngineHealth::kHealthy) return Status::OK();
+    return Status::ReadOnly("engine is " + std::string(EngineHealthName(h)) +
+                            ": " + reason());
+  }
+
+  /// Degrade to `to`. Monotonic: a request to move to a healthier (or equal)
+  /// state is a no-op, so concurrent trippers and repeat offenders are safe.
+  void Trip(EngineHealth to, const std::string& reason) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (static_cast<uint8_t>(to) <= state_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    state_.store(static_cast<uint8_t>(to), std::memory_order_release);
+    reason_ = reason;
+    if (metrics_ != nullptr) metrics_->health_trips++;
+  }
+
+  std::string reason() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return reason_;
+  }
+
+ private:
+  Metrics* metrics_;
+  std::atomic<uint8_t> state_{0};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+}  // namespace ariesim

@@ -29,6 +29,9 @@ struct Metrics {
   std::atomic<uint64_t> log_flushes{0};
   std::atomic<uint64_t> log_records{0};
   std::atomic<uint64_t> log_bytes{0};
+  /// Extra attempts spent re-driving a failed page read/write/sync before
+  /// the DiskManager gave up (one increment per retry, not per operation).
+  std::atomic<uint64_t> io_retries{0};
 
   // Group commit (see docs/METRICS.md for the coalescing-ratio derivation).
   /// Group flushes that actually wrote a batch of the tail.
@@ -56,17 +59,25 @@ struct Metrics {
   /// Pages whose on-disk image failed its CRC at restart and were rebuilt
   /// from the log (torn-write repair).
   std::atomic<uint64_t> torn_pages_repaired{0};
+  /// Pages rebuilt from the log by the online (no-restart) media-recovery
+  /// path after a fetch-time checksum or read failure.
+  std::atomic<uint64_t> pages_repaired_online{0};
+  /// Health-state transitions (kHealthy -> kReadOnly -> kFailed). Each
+  /// distinct downward transition counts once.
+  std::atomic<uint64_t> health_trips{0};
 
   void Reset() {
     auto z = [](std::atomic<uint64_t>& a) { a.store(0, std::memory_order_relaxed); };
     z(lock_requests); z(locks_granted); z(lock_waits); z(lock_conditional_denied);
     z(deadlocks); z(page_latch_acquisitions); z(tree_latch_acquisitions);
     z(tree_latch_waits); z(pages_read); z(pages_written); z(log_flushes);
-    z(log_records); z(log_bytes); z(group_commit_batches); z(group_commit_txns);
+    z(log_records); z(log_bytes); z(io_retries);
+    z(group_commit_batches); z(group_commit_txns);
     z(smo_splits); z(smo_page_deletes);
     z(traversal_restarts); z(smo_waits); z(page_oriented_undos); z(logical_undos);
     z(smo_structural_undos); z(redo_records_applied); z(redo_records_skipped);
-    z(undo_records); z(torn_pages_repaired);
+    z(undo_records); z(torn_pages_repaired); z(pages_repaired_online);
+    z(health_trips);
   }
 
   std::string ToString() const {
@@ -77,11 +88,15 @@ struct Metrics {
            " deadlocks=" + g(deadlocks) + " reads=" + g(pages_read) +
            " writes=" + g(pages_written) + " log_recs=" + g(log_records) +
            " log_bytes=" + g(log_bytes) + " log_flushes=" + g(log_flushes) +
+           " io_retries=" + g(io_retries) +
            " gc_batches=" + g(group_commit_batches) +
            " gc_txns=" + g(group_commit_txns) +
            " splits=" + g(smo_splits) + " page_dels=" + g(smo_page_deletes) +
            " restarts=" + g(traversal_restarts) +
-           " po_undos=" + g(page_oriented_undos) + " log_undos=" + g(logical_undos);
+           " po_undos=" + g(page_oriented_undos) + " log_undos=" + g(logical_undos) +
+           " torn_repaired=" + g(torn_pages_repaired) +
+           " repaired_online=" + g(pages_repaired_online) +
+           " health_trips=" + g(health_trips);
   }
 };
 

@@ -25,6 +25,7 @@ enum class Code : int {
   kNoSpace = 9,         ///< page cannot hold the entry
   kRetry = 10,          ///< internal: restart the operation (traversal race)
   kNotSupported = 11,
+  kReadOnly = 12,       ///< engine degraded to read-only / failed; write rejected
 };
 
 /// Lightweight status object. Ok status allocates nothing.
@@ -65,6 +66,9 @@ class Status {
   static Status NotSupported(std::string m = "not supported") {
     return Status(Code::kNotSupported, std::move(m));
   }
+  static Status ReadOnly(std::string m = "engine is read-only") {
+    return Status(Code::kReadOnly, std::move(m));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -74,6 +78,7 @@ class Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsRetry() const { return code_ == Code::kRetry; }
+  bool IsReadOnly() const { return code_ == Code::kReadOnly; }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

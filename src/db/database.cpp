@@ -26,10 +26,14 @@ Status Database::DoOpen(const std::string& dir) {
 
   ctx_.options = options_;
   ctx_.metrics = &metrics_;
+  ctx_.health = &health_;
 
   disk_ = std::make_unique<DiskManager>(dir + "/data.db", options_.page_size,
                                         &metrics_, options_.sim_io_delay_us);
   disk_->SetFaultInjector(&fault_);
+  disk_->SetRetryPolicy(options_.io_retry_attempts,
+                        options_.io_retry_base_delay_us,
+                        options_.io_retry_max_delay_us);
   ARIES_RETURN_NOT_OK(disk_->Open());
   bool fresh = disk_->PagesOnDisk() == 0;
 
@@ -37,6 +41,7 @@ Status Database::DoOpen(const std::string& dir) {
                                       options_.fsync_log,
                                       options_.log_buffer_size);
   log_->SetFaultInjector(&fault_);
+  log_->SetHealthMonitor(&health_, options_.log_flush_failure_threshold);
   ARIES_RETURN_NOT_OK(log_->Open());
   log_->EnableGroupCommit(options_.wal_group_commit,
                           options_.wal_group_commit_delay_us);
@@ -84,6 +89,7 @@ Status Database::DoOpen(const std::string& dir) {
     ARIES_RETURN_NOT_OK(pool_->FlushAll());
     ARIES_RETURN_NOT_OK(catalog_->Save());
     ARIES_RETURN_NOT_OK(recovery_->TakeCheckpoint());
+    InstallOnlineRepair();
     return Status::OK();
   }
 
@@ -92,7 +98,27 @@ Status Database::DoOpen(const std::string& dir) {
   if (options_.recover_on_open) {
     ARIES_RETURN_NOT_OK(recovery_->Restart(&restart_stats_));
   }
+  // Installed only after restart so that restart-time torn-page repair keeps
+  // its own path and accounting (RepairPage / torn_pages_repaired).
+  InstallOnlineRepair();
   return Status::OK();
+}
+
+void Database::InstallOnlineRepair() {
+  if (!options_.online_page_repair) return;
+  pool_->SetRepairHandler([this](PageId id, char* buf) {
+    Status s = recovery_->RebuildPageImage(id, buf);
+    if (s.ok()) {
+      metrics_.pages_repaired_online.fetch_add(1, std::memory_order_relaxed);
+    } else if (s.code() == Code::kCorruption) {
+      // The log cannot reproduce the page: its data is gone. Refuse writes
+      // from here on rather than risk compounding the loss.
+      health_.Trip(EngineHealth::kReadOnly,
+                   "unrepairable page " + std::to_string(id) + ": " +
+                       s.message());
+    }
+    return s;
+  });
 }
 
 BTree* Database::MaterializeIndex(const IndexMeta& meta) {
@@ -166,6 +192,7 @@ Status Database::RollbackToSavepoint(Transaction* txn, Lsn savepoint) {
 
 Result<Table*> Database::CreateTable(const std::string& name,
                                      uint32_t num_columns) {
+  ARIES_RETURN_NOT_OK(health_.CheckWritable());
   if (catalog_->FindTable(name) != nullptr) {
     return Status::Duplicate("table exists: " + name);
   }
@@ -202,6 +229,7 @@ Result<BTree*> Database::CreateIndexWithProtocol(const std::string& table,
                                                  const std::string& name,
                                                  uint32_t column, bool unique,
                                                  LockingProtocolKind protocol) {
+  ARIES_RETURN_NOT_OK(health_.CheckWritable());
   Table* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no table " + table);
   if (catalog_->FindIndex(name) != nullptr) {

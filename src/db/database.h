@@ -13,6 +13,7 @@
 #include "btree/btree.h"
 #include "buffer/buffer_pool.h"
 #include "common/context.h"
+#include "common/health.h"
 #include "db/catalog.h"
 #include "db/table.h"
 #include "lock/lock_manager.h"
@@ -79,6 +80,12 @@ class Database {
   /// manager and buffer pool of this database. Disarmed by default.
   FaultInjector* fault_injector() { return &fault_; }
 
+  /// Current degradation state (see docs/ARCHITECTURE.md, "Engine health").
+  /// kReadOnly / kFailed are one-way until the directory is reopened.
+  EngineHealth Health() const { return health_.state(); }
+  /// Why the engine degraded (empty while healthy).
+  std::string HealthReason() const { return health_.reason(); }
+
   EngineContext* ctx() { return &ctx_; }
   const Catalog* catalog() const { return catalog_.get(); }
   Metrics& metrics() { return metrics_; }
@@ -94,12 +101,16 @@ class Database {
  private:
   explicit Database(Options options);
   Status DoOpen(const std::string& dir);
+  /// Wire BufferPool fetch-miss repair to RecoveryManager::RebuildPageImage
+  /// (no-op unless Options::online_page_repair).
+  void InstallOnlineRepair();
   Status MaybeAutoCheckpoint();
   Status LoadObjects();
   BTree* MaterializeIndex(const IndexMeta& meta);
 
   Options options_;
   Metrics metrics_;
+  HealthMonitor health_{&metrics_};
   EngineContext ctx_;
   std::string dir_;
   bool crashed_ = false;

@@ -1,5 +1,6 @@
 #include "db/table.h"
 
+#include "common/health.h"
 #include "recovery/recovery_manager.h"
 #include "util/coding.h"
 
@@ -32,6 +33,9 @@ BTree* Table::index(const std::string& name) const {
 }
 
 Status Table::Insert(Transaction* txn, const Row& row, Rid* rid_out) {
+  if (ctx_->health != nullptr) {
+    ARIES_RETURN_NOT_OK(ctx_->health->CheckWritable());
+  }
   if (row.size() != meta_.num_columns) {
     return Status::InvalidArgument("row has wrong arity");
   }
@@ -62,6 +66,9 @@ Status Table::Insert(Transaction* txn, const Row& row, Rid* rid_out) {
 }
 
 Status Table::Delete(Transaction* txn, Rid rid) {
+  if (ctx_->health != nullptr) {
+    ARIES_RETURN_NOT_OK(ctx_->health->CheckWritable());
+  }
   // X lock first (no latches held), then read the row for the key deletes.
   ARIES_RETURN_NOT_OK(records_->LockRecord(txn, meta_.id, rid, LockMode::kX,
                                            LockDuration::kCommit,
@@ -88,6 +95,9 @@ Status Table::Delete(Transaction* txn, Rid rid) {
 }
 
 Status Table::Update(Transaction* txn, Rid rid, const Row& new_row) {
+  if (ctx_->health != nullptr) {
+    ARIES_RETURN_NOT_OK(ctx_->health->CheckWritable());
+  }
   if (new_row.size() != meta_.num_columns) {
     return Status::InvalidArgument("row has wrong arity");
   }

@@ -5,8 +5,8 @@
 
 namespace ariesim {
 
-Status RecordManager::Redo(const LogRecord& rec, PageGuard& page) {
-  return heap::Apply(rec.op, rec.payload, page.view());
+Status RecordManager::Redo(const LogRecord& rec, PageView page) {
+  return heap::Apply(rec.op, rec.payload, page);
 }
 
 Status RecordManager::Undo(Transaction* txn, const LogRecord& rec) {

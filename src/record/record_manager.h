@@ -17,7 +17,7 @@ class RecordManager final : public ResourceManager {
   explicit RecordManager(EngineContext* ctx) : ctx_(ctx) {}
 
   // -- ResourceManager (RmId::kHeap) --------------------------------------
-  Status Redo(const LogRecord& rec, PageGuard& page) override;
+  Status Redo(const LogRecord& rec, PageView page) override;
   Status Undo(Transaction* txn, const LogRecord& rec) override;
 
   // -- data locking --------------------------------------------------------

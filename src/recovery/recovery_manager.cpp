@@ -1,11 +1,13 @@
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 #include "storage/disk_manager.h"
 #include "storage/space_manager.h"
 #include "util/coding.h"
+#include "util/crc32c.h"
 
 namespace ariesim {
 
@@ -185,7 +187,7 @@ Status RecoveryManager::RedoPass(const AnalysisResult& ar, RestartStats* stats) 
     if (rm == nullptr) {
       return Status::Corruption("no RM registered for redo: " + rec.ToString());
     }
-    ARIES_RETURN_NOT_OK(rm->Redo(rec, page));
+    ARIES_RETURN_NOT_OK(rm->Redo(rec, page.view()));
     page.MarkDirty(rec.lsn);
     if (stats != nullptr) stats->redo_applied++;
     if (ctx_->metrics != nullptr) {
@@ -295,22 +297,20 @@ Status RecoveryManager::RollForwardPage(PageId page, Lsn from) {
     if (rm == nullptr) {
       return Status::Corruption("no RM for media redo: " + rec.ToString());
     }
-    ARIES_RETURN_NOT_OK(rm->Redo(rec, guard));
+    ARIES_RETURN_NOT_OK(rm->Redo(rec, guard.view()));
     guard.MarkDirty(rec.lsn);
   }
   return Status::OK();
 }
 
-Status RecoveryManager::RepairPage(PageId page) {
+Status RecoveryManager::RebuildPageImage(PageId page, char* buf) {
   if (ctx_->disk == nullptr) {
     return Status::Corruption("page " + std::to_string(page) +
                               " checksum mismatch (no disk for repair)");
   }
-  // Drop any cached corrupt copy so the rebuilt image is what readers see.
-  ARIES_RETURN_NOT_OK(ctx_->pool->DiscardPage(page));
-  const size_t ps = ctx_->pool->page_size();
-  std::string blank(ps, '\0');
-  PageView v(blank.data(), ps);
+  const size_t ps = ctx_->disk->page_size();
+  std::memset(buf, 0, ps);
+  PageView v(buf, ps);
   if (page < kSpaceMapPages) {
     // Map pages were formatted before logging existed; recreate that base
     // image so the logged bit flips replay on top of it.
@@ -320,11 +320,49 @@ Status RecoveryManager::RepairPage(PageId page) {
     // which reads the page id from the page itself, so stamp it.
     v.set_page_id(page);
   }
-  ARIES_RETURN_NOT_OK(ctx_->disk->WritePage(page, blank.data()));
+  // Replay the page's full history. Page-LSN idempotence makes this safe to
+  // run concurrently with normal traffic on *other* pages: every redo below
+  // touches only this private buffer, and the caller guarantees no new
+  // records can be appended for this page while it is quarantined.
+  LogManager::Reader reader(ctx_->log, kLogFilePrologue);
+  LogRecord rec;
+  while (true) {
+    Status s = reader.Next(&rec);
+    if (s.IsNotFound()) break;  // end of log (or torn tail)
+    ARIES_RETURN_NOT_OK(s);
+    if (!rec.IsRedoable() || rec.page_id != page) continue;
+    if (v.page_lsn() >= rec.lsn) continue;
+    ResourceManager* rm = Rm(rec.rm);
+    if (rm == nullptr) {
+      return Status::Corruption("no RM for media redo: " + rec.ToString());
+    }
+    ARIES_RETURN_NOT_OK(rm->Redo(rec, v));
+    v.set_page_lsn(rec.lsn);
+  }
+  if (page >= kSpaceMapPages && v.type() == PageType::kInvalid) {
+    // The corrupt on-disk image was non-blank, yet the log holds no format
+    // record for the page: its history is gone (truncated log). Refusing
+    // here is what keeps repair from silently serving an empty page.
+    return Status::Corruption("page " + std::to_string(page) +
+                              " unrepairable: log holds no history");
+  }
+  // WAL rule: the rebuilt image must not reach disk ahead of the log records
+  // it embodies.
+  ARIES_RETURN_NOT_OK(ctx_->log->FlushTo(v.page_lsn()));
+  uint32_t crc = crc32c::Value(buf + 4, ps - 4);
+  v.set_checksum(crc32c::Mask(crc));
+  return ctx_->disk->WritePage(page, buf);
+}
+
+Status RecoveryManager::RepairPage(PageId page) {
+  // Drop any cached corrupt copy so the rebuilt image is what readers see.
+  ARIES_RETURN_NOT_OK(ctx_->pool->DiscardPage(page));
+  std::string buf(ctx_->pool->page_size(), '\0');
+  ARIES_RETURN_NOT_OK(RebuildPageImage(page, buf.data()));
   if (ctx_->metrics != nullptr) {
     ctx_->metrics->torn_pages_repaired.fetch_add(1, std::memory_order_relaxed);
   }
-  return RollForwardPage(page, kLogFilePrologue);
+  return Status::OK();
 }
 
 Status RecoveryManager::Restart(RestartStats* stats) {

@@ -64,6 +64,17 @@ class RecoveryManager {
   /// fetch reports kCorruption.
   Status RepairPage(PageId page);
 
+  /// Core single-page media recovery, shared by restart-time RepairPage and
+  /// the online fetch-time repair path: rebuild `page` into the caller's
+  /// `buf` (page_size bytes) by replaying its full log history onto the
+  /// blank base image, then persist the result (checksummed, WAL rule
+  /// honored). Thread-safe and buffer-pool-free, so it can run while normal
+  /// traffic continues on other pages; the caller must guarantee no new log
+  /// records are appended for `page` for the duration (the buffer pool's
+  /// fetch-miss quarantine does). Returns kCorruption if the log holds no
+  /// history for the page (unrepairable).
+  Status RebuildPageImage(PageId page, char* buf);
+
   /// Failure injection (tests only): abort the restart-undo pass with an
   /// injected error after `n` records — simulating a crash *during*
   /// recovery, to verify bounded logging via CLRs (paper §1.2). Negative

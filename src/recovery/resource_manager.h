@@ -17,7 +17,7 @@ class ResourceManager {
   /// Reapply the effect of `rec` to `page` (already X-latched; the caller
   /// verified page_LSN < rec.lsn and will stamp page_LSN afterwards).
   /// Must be page-oriented: no other page may be touched.
-  virtual Status Redo(const LogRecord& rec, PageGuard& page) = 0;
+  virtual Status Redo(const LogRecord& rec, PageView page) = 0;
 
   /// Undo `rec` on behalf of the rolling-back `txn`. The RM writes the
   /// CLR(s) (and, for logical undo needing an SMO, regular records inside a

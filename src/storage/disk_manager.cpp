@@ -4,11 +4,26 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
 #include <thread>
 
 namespace ariesim {
+
+namespace {
+// Deterministic bit-rot pattern for FaultKind::kBitRot: XOR a run of bytes
+// starting inside the page header so the stored checksum no longer matches
+// the body no matter what the page held.
+void ScramblePage(char* buf, size_t page_size) {
+  size_t start = std::min<size_t>(16, page_size / 2);
+  size_t len = std::min<size_t>(48, page_size - start);
+  for (size_t i = 0; i < len; i++) {
+    buf[start + i] = static_cast<char>(buf[start + i] ^ 0x5A);
+  }
+}
+}  // namespace
 
 DiskManager::DiskManager(std::string path, size_t page_size, Metrics* metrics,
                          uint32_t sim_io_delay_us)
@@ -34,13 +49,48 @@ void DiskManager::Close() {
   }
 }
 
+void DiskManager::SetRetryPolicy(int attempts, uint32_t base_delay_us,
+                                 uint32_t max_delay_us) {
+  retry_attempts_ = attempts < 1 ? 1 : attempts;
+  retry_base_delay_us_ = base_delay_us;
+  retry_max_delay_us_ = max_delay_us;
+}
+
+void DiskManager::BackoffBeforeRetry(int attempt) {
+  if (metrics_ != nullptr) {
+    metrics_->io_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t delay = retry_base_delay_us_;
+  // Double per completed attempt: retry 1 waits base, retry 2 waits 2*base...
+  if (attempt > 1) delay <<= std::min(attempt - 1, 20);
+  if (retry_max_delay_us_ > 0) {
+    delay = std::min<uint64_t>(delay, retry_max_delay_us_);
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+
 Status DiskManager::ReadPage(PageId id, char* buf) {
+  Status s = ReadPageOnce(id, buf);
+  for (int attempt = 1;
+       s.code() == Code::kIOError && attempt < retry_attempts_; attempt++) {
+    BackoffBeforeRetry(attempt);
+    s = ReadPageOnce(id, buf);
+  }
+  return s;
+}
+
+Status DiskManager::ReadPageOnce(PageId id, char* buf) {
   if (sim_io_delay_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(sim_io_delay_us_));
   }
+  bool rot = false;
   if (fault_ != nullptr) {
-    FaultAction a = fault_->OnIo(FaultSite::kDataRead, page_size_);
-    if (a.kind != FaultAction::Kind::kProceed) {
+    FaultAction a = fault_->OnIo(FaultSite::kDataRead, page_size_, id);
+    if (a.kind == FaultAction::Kind::kCorrupt) {
+      rot = true;  // the read "succeeds" but the media has decayed
+    } else if (a.kind != FaultAction::Kind::kProceed) {
       return Status::IOError("fault injection: read of page " +
                              std::to_string(id));
     }
@@ -55,6 +105,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
     // Fresh page (or short tail): zero-fill the remainder.
     std::memset(buf + n, 0, page_size_ - n);
   }
+  if (rot) ScramblePage(buf, page_size_);
   if (metrics_ != nullptr) {
     metrics_->pages_read.fetch_add(1, std::memory_order_relaxed);
   }
@@ -62,12 +113,23 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
 }
 
 Status DiskManager::WritePage(PageId id, const char* buf) {
+  Status s = WritePageOnce(id, buf);
+  for (int attempt = 1;
+       s.code() == Code::kIOError && attempt < retry_attempts_; attempt++) {
+    BackoffBeforeRetry(attempt);
+    s = WritePageOnce(id, buf);
+  }
+  return s;
+}
+
+Status DiskManager::WritePageOnce(PageId id, const char* buf) {
   if (sim_io_delay_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(sim_io_delay_us_));
   }
   size_t write_len = page_size_;
+  std::string rotted;
   if (fault_ != nullptr) {
-    FaultAction a = fault_->OnIo(FaultSite::kDataWrite, page_size_);
+    FaultAction a = fault_->OnIo(FaultSite::kDataWrite, page_size_, id);
     if (a.kind == FaultAction::Kind::kFail) {
       return Status::IOError("fault injection: write of page " +
                              std::to_string(id));
@@ -76,6 +138,13 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
       // The torn prefix reaches the platter; the caller sees success, as it
       // would before the power actually failed.
       write_len = a.keep_bytes;
+    }
+    if (a.kind == FaultAction::Kind::kCorrupt) {
+      // In-place bit-rot: what lands on disk is scrambled, the caller sees
+      // success. Only the next verified read can notice.
+      rotted.assign(buf, page_size_);
+      ScramblePage(rotted.data(), page_size_);
+      buf = rotted.data();
     }
   }
   off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
@@ -101,6 +170,16 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
 }
 
 Status DiskManager::Sync() {
+  Status s = SyncOnce();
+  for (int attempt = 1;
+       s.code() == Code::kIOError && attempt < retry_attempts_; attempt++) {
+    BackoffBeforeRetry(attempt);
+    s = SyncOnce();
+  }
+  return s;
+}
+
+Status DiskManager::SyncOnce() {
   if (fault_ != nullptr) {
     FaultAction a = fault_->OnIo(FaultSite::kDataSync, 0);
     if (a.kind != FaultAction::Kind::kProceed) {

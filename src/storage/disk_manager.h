@@ -41,12 +41,28 @@ class DiskManager {
   /// nullptr to detach. The injector must outlive this DiskManager.
   void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
+  /// Bounded retry for transient I/O errors: `attempts` total tries per
+  /// operation (minimum 1 = no retry, the default), exponential backoff from
+  /// `base_delay_us` doubling per attempt, clamped to `max_delay_us`. Each
+  /// extra attempt counts one Metrics::io_retries.
+  void SetRetryPolicy(int attempts, uint32_t base_delay_us,
+                      uint32_t max_delay_us);
+
  private:
+  Status ReadPageOnce(PageId id, char* buf);
+  Status WritePageOnce(PageId id, const char* buf);
+  Status SyncOnce();
+  /// Sleep before retry number `attempt` (1-based) and count the retry.
+  void BackoffBeforeRetry(int attempt);
+
   std::string path_;
   size_t page_size_;
   Metrics* metrics_;
   uint32_t sim_io_delay_us_;
   FaultInjector* fault_ = nullptr;
+  int retry_attempts_ = 1;
+  uint32_t retry_base_delay_us_ = 0;
+  uint32_t retry_max_delay_us_ = 0;
   int fd_ = -1;
   std::mutex mu_;  // serializes file extension bookkeeping
 };

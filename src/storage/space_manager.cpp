@@ -139,12 +139,12 @@ Result<uint64_t> SpaceManager::AllocatedCount() {
   return count - kSpaceMapPages;
 }
 
-Status SpaceManager::Redo(const LogRecord& rec, PageGuard& page) {
+Status SpaceManager::Redo(const LogRecord& rec, PageView page) {
   BufferReader r(rec.payload);
   uint32_t id = r.GetFixed32();
   uint32_t bit = static_cast<uint32_t>(
       id - static_cast<uint64_t>(rec.page_id) * BitsPerMapPage());
-  ApplyBit(page.view(), bit, rec.op == kOpBitSet);
+  ApplyBit(page, bit, rec.op == kOpBitSet);
   return Status::OK();
 }
 

@@ -49,7 +49,7 @@ class SpaceManager final : public ResourceManager {
   uint64_t Capacity() const;
 
   // ResourceManager:
-  Status Redo(const LogRecord& rec, PageGuard& page) override;
+  Status Redo(const LogRecord& rec, PageView page) override;
   Status Undo(Transaction* txn, const LogRecord& rec) override;
 
   // Log opcodes.

@@ -32,6 +32,12 @@ const char* KindName(FaultKind kind) {
       return "partial-flush";
     case FaultKind::kTransientError:
       return "transient-error";
+    case FaultKind::kBitRot:
+      return "bit-rot";
+    case FaultKind::kPersistentError:
+      return "persistent-error";
+    case FaultKind::kStuckDevice:
+      return "stuck-device";
   }
   return "?";
 }
@@ -42,6 +48,8 @@ std::string FaultSpec::ToString() const {
   os << KindName(kind) << "@" << FaultSiteName(site) << " nth=" << nth
      << " keep=" << keep_bytes << " repeat=" << repeat
      << (freeze_after ? " freeze" : "");
+  if (page_id != kInvalidPageId) os << " page=" << page_id;
+  if (stall_us != 0) os << " stall_us=" << stall_us;
   return os.str();
 }
 
@@ -67,6 +75,7 @@ void FaultInjector::Arm(const FaultSpec& spec) {
   armed_ = spec.kind != FaultKind::kNone;
   match_count_ = 0;
   remaining_repeats_ = spec.repeat == 0 ? 1 : spec.repeat;
+  stuck_active_ = false;
   active_.store(armed_ || frozen_.load(std::memory_order_relaxed),
                 std::memory_order_release);
 }
@@ -79,7 +88,7 @@ void FaultInjector::Disarm() {
   active_.store(false, std::memory_order_release);
 }
 
-FaultAction FaultInjector::OnIo(FaultSite site, uint64_t bytes) {
+FaultAction FaultInjector::OnIo(FaultSite site, uint64_t bytes, PageId page) {
   if (!active_.load(std::memory_order_acquire)) return FaultAction{};
   std::lock_guard<std::mutex> lk(mu_);
   if (frozen_.load(std::memory_order_relaxed)) {
@@ -88,6 +97,9 @@ FaultAction FaultInjector::OnIo(FaultSite site, uint64_t bytes) {
   }
   if (!armed_ || site != spec_.site) return FaultAction{};
   site_ops_[static_cast<int>(site)]++;
+  if (spec_.page_id != kInvalidPageId && page != spec_.page_id) {
+    return FaultAction{};
+  }
   uint64_t seq = match_count_++;
   if (seq < spec_.nth) return FaultAction{};
 
@@ -109,6 +121,33 @@ FaultAction FaultInjector::OnIo(FaultSite site, uint64_t bytes) {
     case FaultKind::kTransientError: {
       action.kind = FaultAction::Kind::kFail;
       if (--remaining_repeats_ == 0) armed_ = false;
+      break;
+    }
+    case FaultKind::kBitRot: {
+      action.kind = FaultAction::Kind::kCorrupt;
+      if (--remaining_repeats_ == 0) armed_ = false;
+      break;
+    }
+    case FaultKind::kPersistentError: {
+      // Media failure: fails every match until the test Disarms it.
+      action.kind = FaultAction::Kind::kFail;
+      break;
+    }
+    case FaultKind::kStuckDevice: {
+      auto now = std::chrono::steady_clock::now();
+      if (!stuck_active_) {
+        stuck_active_ = true;
+        stuck_until_ = now + std::chrono::microseconds(spec_.stall_us);
+      }
+      if (now >= stuck_until_) {
+        // The device came back; heal and let this I/O through.
+        armed_ = false;
+        stuck_active_ = false;
+        active_.store(frozen_.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+        return FaultAction{};
+      }
+      action.kind = FaultAction::Kind::kFail;
       break;
     }
   }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -48,6 +49,19 @@ enum class FaultKind : uint8_t {
   /// The matching call (and the `repeat - 1` matching calls after it)
   /// return Status::IOError; the device then heals.
   kTransientError = 3,
+  /// In-place bit-rot: the matching page read/write proceeds but the payload
+  /// is deterministically scrambled (reads: after the bytes leave the disk;
+  /// writes: what lands on disk), modeling media decay on cold pages. The
+  /// caller sees success — only a checksum check can notice. `repeat`
+  /// matching calls rot, then the device heals. Never freezes.
+  kBitRot = 4,
+  /// Every matching call returns Status::IOError until Disarm — a
+  /// non-transient (media) failure that no amount of retrying fixes.
+  kPersistentError = 5,
+  /// Stuck-then-recovering device: from the first matching call, every I/O
+  /// at the armed site fails for `stall_us` microseconds of wall-clock time,
+  /// after which the device heals and I/O proceeds normally.
+  kStuckDevice = 6,
 };
 
 struct FaultSpec {
@@ -58,8 +72,15 @@ struct FaultSpec {
   /// kTornWrite / kPartialFlush: bytes of the new image that reach the file.
   /// Clamped to the I/O size minus one so a "tear" always loses something.
   uint32_t keep_bytes = 0;
-  /// kTransientError: number of consecutive matching calls that fail.
+  /// kTransientError / kBitRot: number of consecutive matching calls that
+  /// fail / rot.
   uint32_t repeat = 1;
+  /// Restrict the fault to one page (kDataRead/kDataWrite/kEvictWrite sites
+  /// only; those sites report the page id). kInvalidPageId = any page.
+  PageId page_id = kInvalidPageId;
+  /// kStuckDevice: how long the device stays stuck, in microseconds of
+  /// wall-clock time from the first matching call.
+  uint32_t stall_us = 0;
   /// kTornWrite / kPartialFlush: fail every subsequent I/O at every site
   /// after firing (the machine is dead; only SimulateCrash + reopen can
   /// follow). Transient errors ignore this.
@@ -74,6 +95,7 @@ struct FaultAction {
     kProceed = 0,  ///< perform the I/O normally
     kTear = 1,     ///< persist only `keep_bytes` bytes
     kFail = 2,     ///< perform no I/O; return Status::IOError
+    kCorrupt = 3,  ///< perform the I/O, then scramble the payload (bit-rot)
   };
   Kind kind = Kind::kProceed;
   uint32_t keep_bytes = 0;
@@ -92,7 +114,9 @@ class FaultInjector {
   void Disarm();
 
   /// Consulted by the storage stack before each I/O of `bytes` bytes.
-  FaultAction OnIo(FaultSite site, uint64_t bytes);
+  /// Page-addressed sites pass the page id so specs can target one page.
+  FaultAction OnIo(FaultSite site, uint64_t bytes,
+                   PageId page = kInvalidPageId);
 
   /// True once the armed fault has fired at least once.
   bool tripped() const { return fires_.load(std::memory_order_acquire) > 0; }
@@ -111,8 +135,10 @@ class FaultInjector {
   mutable std::mutex mu_;
   FaultSpec spec_;
   bool armed_ = false;
-  uint64_t match_count_ = 0;       // matching-site I/Os since Arm
-  uint32_t remaining_repeats_ = 0; // transient errors left to deliver
+  uint64_t match_count_ = 0;       // matching I/Os since Arm
+  uint32_t remaining_repeats_ = 0; // transient errors / rots left to deliver
+  bool stuck_active_ = false;      // kStuckDevice: stall window started
+  std::chrono::steady_clock::time_point stuck_until_{};
   uint64_t site_ops_[kFaultSiteCount] = {0};
   // Read lock-free on the I/O fast path and by test threads.
   std::atomic<bool> active_{false};  // armed or frozen

@@ -100,6 +100,25 @@ Result<Lsn> LogManager::Append(LogRecord* rec) {
 
 Status LogManager::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
+  Status s = FlushLockedImpl();
+  if (s.ok()) {
+    consecutive_flush_failures_ = 0;
+  } else {
+    ++consecutive_flush_failures_;
+    if (health_ != nullptr && flush_failure_threshold_ > 0) {
+      if (consecutive_flush_failures_ >= 2 * flush_failure_threshold_) {
+        health_->Trip(EngineHealth::kFailed,
+                      "log flush failing persistently: " + s.message());
+      } else if (consecutive_flush_failures_ >= flush_failure_threshold_) {
+        health_->Trip(EngineHealth::kReadOnly,
+                      "log flush failing: " + s.message());
+      }
+    }
+  }
+  return s;
+}
+
+Status LogManager::FlushLockedImpl() {
   if (fault_ != nullptr) {
     FaultAction a = fault_->OnIo(FaultSite::kLogFlush, buffer_.size());
     if (a.kind == FaultAction::Kind::kFail) {

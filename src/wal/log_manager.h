@@ -25,6 +25,7 @@
 #include <string>
 #include <thread>
 
+#include "common/health.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -117,6 +118,16 @@ class LogManager {
   /// nullptr to detach. The injector must outlive this LogManager.
   void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
+  /// Wire the engine's health monitor: after `failure_threshold` consecutive
+  /// tail-flush failures the engine trips kHealthy -> kReadOnly, and after
+  /// twice that count kFailed. A successful flush resets the streak. The
+  /// trip reaches blocked group-commit waiters through the normal per-batch
+  /// error delivery. 0 disables the trip.
+  void SetHealthMonitor(HealthMonitor* health, uint32_t failure_threshold) {
+    health_ = health;
+    flush_failure_threshold_ = failure_threshold;
+  }
+
   /// Observer invoked inside the append critical section with
   /// (page_id, lsn) for every redoable page record. The buffer pool uses it
   /// to register the page as dirty *atomically with the append*: callers
@@ -149,8 +160,10 @@ class LogManager {
 
  private:
   Status ReadFromFile(Lsn lsn, LogRecord* out);
-  /// Flush the whole tail; caller holds mu_.
+  /// Flush the whole tail; caller holds mu_. Tracks the consecutive-failure
+  /// streak and trips the health monitor past the threshold.
   Status FlushLocked();
+  Status FlushLockedImpl();
   /// One group flush: take mu_, flush the whole tail, record the batch
   /// metric. `*end_out` receives the boundary the attempt covered (the
   /// next_lsn at flush time) — waiters at or below it have their answer.
@@ -164,6 +177,9 @@ class LogManager {
   bool fsync_on_flush_;
   size_t buffer_capacity_;
   FaultInjector* fault_ = nullptr;
+  HealthMonitor* health_ = nullptr;
+  uint32_t flush_failure_threshold_ = 0;
+  uint32_t consecutive_flush_failures_ = 0;  // under mu_
   std::function<void(PageId, Lsn)> append_observer_;
   int fd_ = -1;
 

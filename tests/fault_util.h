@@ -278,8 +278,10 @@ inline void VerifyDatabaseState(Database* db, WorkloadTrace* trace,
 }
 
 /// Scan the raw data file and return the ids of pages that would fail the
-/// buffer pool's load-time CRC check (type set, checksum set, crc mismatch).
-/// Run it on the closed/crashed file to predict restart's torn-page repairs.
+/// buffer pool's load-time CRC check — the same strict predicate FetchFrame
+/// applies: a typed page must carry a matching checksum, an untyped page
+/// must be entirely zero. Run it on the closed/crashed file to predict
+/// restart's torn-page repairs.
 inline std::vector<PageId> CorruptPagesOnDisk(const std::string& dir,
                                               size_t page_size) {
   std::vector<PageId> bad;
@@ -293,11 +295,15 @@ inline std::vector<PageId> CorruptPagesOnDisk(const std::string& dir,
   data.resize(((size + page_size - 1) / page_size) * page_size, '\0');
   for (size_t off = 0; off < data.size(); off += page_size) {
     PageView v(&data[off], page_size);
-    if (v.type() == PageType::kInvalid || v.checksum() == 0) continue;
-    uint32_t crc = crc32c::Value(&data[off + 4], page_size - 4);
-    if (v.checksum() != crc32c::Mask(crc)) {
-      bad.push_back(static_cast<PageId>(off / page_size));
+    bool corrupt;
+    if (v.type() == PageType::kInvalid) {
+      corrupt = std::string_view(&data[off], page_size)
+                    .find_first_not_of('\0') != std::string_view::npos;
+    } else {
+      uint32_t crc = crc32c::Value(&data[off + 4], page_size - 4);
+      corrupt = v.checksum() != crc32c::Mask(crc);
     }
+    if (corrupt) bad.push_back(static_cast<PageId>(off / page_size));
   }
   return bad;
 }

@@ -21,7 +21,12 @@ class MediaRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = std::make_unique<TempDir>("media");
-    db_ = std::move(Database::Open(dir_->path(), SmallPageOptions())).value();
+    // This suite exercises the *manual* media-recovery API (dump + roll
+    // forward), so the automatic fetch-time repair must stay out of the way;
+    // tests/stress/self_heal_test.cpp covers the online path.
+    Options o = SmallPageOptions();
+    o.online_page_repair = false;
+    db_ = std::move(Database::Open(dir_->path(), o)).value();
     table_ = db_->CreateTable("t", 2).value();
     tree_ = db_->CreateIndex("t", "pk", 0, true).value();
   }

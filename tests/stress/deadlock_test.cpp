@@ -37,10 +37,13 @@ TEST(DeadlockTest, ClassicTwoTxnCycleResolved) {
   ASSERT_OK(table->FetchByKey(t1, "pk", "a", &row));
   ASSERT_OK(table->FetchByKey(t2, "pk", "b", &row));
 
+  const TxnId id1 = t1->id();
+  const TxnId id2 = t2->id();
   std::atomic<int> deadlocks{0}, oks{0};
   auto run = [&](Transaction* txn, Rid target) {
     Status s = table->Delete(txn, target);
     if (s.IsDeadlock()) {
+      EXPECT_EQ(s.code(), Code::kDeadlock);
       deadlocks.fetch_add(1);
       EXPECT_TRUE(db->Rollback(txn).ok());
     } else {
@@ -56,6 +59,63 @@ TEST(DeadlockTest, ClassicTwoTxnCycleResolved) {
   EXPECT_EQ(deadlocks.load(), 1);
   EXPECT_EQ(oks.load(), 1);
   EXPECT_GE(db->metrics().deadlocks.load(), 1u);
+  // Victim and winner alike must leave nothing behind in the lock table.
+  EXPECT_EQ(db->locks()->HeldCount(id1), 0u);
+  EXPECT_EQ(db->locks()->HeldCount(id2), 0u);
+}
+
+TEST(DeadlockTest, LockUpgradeDeadlockResolvedWithoutLockLeak) {
+  // The conversion deadlock: both transactions hold S on the same record
+  // and both request the upgrade to X. Neither S holder can drain, so the
+  // detector must pick a victim; the survivor's upgrade is then granted.
+  TempDir dir("dlup");
+  auto db = std::move(Database::Open(dir.path(), SmallPageOptions())).value();
+  Table* table = db->CreateTable("t", 2).value();
+  ASSERT_TRUE(db->CreateIndex("t", "pk", 0, true).ok());
+  Transaction* setup = db->Begin();
+  Rid rid;
+  ASSERT_OK(table->Insert(setup, {"u", "0"}, &rid));
+  ASSERT_OK(db->Commit(setup));
+
+  Transaction* t1 = db->Begin();
+  Transaction* t2 = db->Begin();
+  const TxnId id1 = t1->id();
+  const TxnId id2 = t2->id();
+  // Both read the record: commit-duration S locks on the same rid.
+  std::optional<Row> row;
+  ASSERT_OK(table->FetchByKey(t1, "pk", "u", &row));
+  ASSERT_OK(table->FetchByKey(t2, "pk", "u", &row));
+  const uint64_t deadlocks_before = db->metrics().deadlocks.load();
+
+  std::atomic<int> victims{0}, winners{0};
+  auto run = [&](Transaction* txn) {
+    Status s = table->Delete(txn, rid);  // S -> X upgrade on the record
+    if (s.IsDeadlock()) {
+      EXPECT_EQ(s.code(), Code::kDeadlock);
+      victims.fetch_add(1);
+      EXPECT_TRUE(db->Rollback(txn).ok());
+    } else {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      winners.fetch_add(1);
+      EXPECT_TRUE(db->Commit(txn).ok());
+    }
+  };
+  std::thread a(run, t1);
+  std::thread b(run, t2);
+  a.join();
+  b.join();
+  EXPECT_EQ(victims.load(), 1);
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_GE(db->metrics().deadlocks.load(), deadlocks_before + 1);
+  // No lock leak: the victim's withdrawn upgrade and its S lock are gone,
+  // and the winner released everything at commit.
+  EXPECT_EQ(db->locks()->HeldCount(id1), 0u);
+  EXPECT_EQ(db->locks()->HeldCount(id2), 0u);
+  // The record is gone (winner's delete committed) and the index agrees.
+  Transaction* check = db->Begin();
+  ASSERT_OK(table->FetchByKey(check, "pk", "u", &row));
+  EXPECT_FALSE(row.has_value());
+  ASSERT_OK(db->Commit(check));
 }
 
 TEST(DeadlockTest, VictimRollbackNeverDeadlocks) {
@@ -145,6 +205,8 @@ TEST(DeadlockTest, HighContentionStormMakesProgress) {
   EXPECT_EQ(commits.load() + victims.load(),
             static_cast<uint64_t>(kThreads) * kTxns);
   EXPECT_GT(commits.load(), 0u);
+  // Every victim the workers observed was counted by the detector.
+  EXPECT_GE(db->metrics().deadlocks.load(), victims.load());
   ASSERT_OK(db->GetIndex("pk")->Validate(nullptr));
 }
 

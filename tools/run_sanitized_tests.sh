@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
-# Build and run the tier-1 test suite under ThreadSanitizer and
-# AddressSanitizer (see ARIESIM_SANITIZE in the top-level CMakeLists).
+# Build and run the tier-1 test suite under ThreadSanitizer,
+# AddressSanitizer and UndefinedBehaviorSanitizer (see ARIESIM_SANITIZE in
+# the top-level CMakeLists).
 #
-#   tools/run_sanitized_tests.sh            # both sanitizers
-#   tools/run_sanitized_tests.sh thread     # TSan only
-#   tools/run_sanitized_tests.sh address    # ASan only
+#   tools/run_sanitized_tests.sh              # all three sanitizers
+#   tools/run_sanitized_tests.sh thread       # TSan only
+#   tools/run_sanitized_tests.sh address      # ASan only
+#   tools/run_sanitized_tests.sh undefined    # UBSan only
 #
 # Extra arguments after the sanitizer name are forwarded to ctest, e.g.
 #   tools/run_sanitized_tests.sh thread -R fault_injection
+#   tools/run_sanitized_tests.sh thread -L stress   # stress suites only
 # Stress-test seed lists can be narrowed for quicker sanitized runs:
 #   ARIESIM_STRESS_SEEDS=1-4 tools/run_sanitized_tests.sh thread
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sanitizers=(thread address)
-if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" ) ]]; then
+sanitizers=(thread address undefined)
+if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" || "$1" == "undefined" ) ]]; then
   sanitizers=("$1")
   shift
 fi
@@ -34,6 +37,7 @@ for san in "${sanitizers[@]}"; do
   # ctest) instead of scrolling past.
   TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}" \
   ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1${UBSAN_OPTIONS:+ $UBSAN_OPTIONS}" \
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
   echo "=== ${san} sanitizer: PASS ==="
 done
