@@ -62,15 +62,23 @@ void BM_Restart(benchmark::State& state) {
     state.ResumeTiming();
     auto db = std::move(Database::Open(dir, opts).value());
     state.PauseTiming();
-    state.counters["analysis_records"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().analysis_records));
-    state.counters["redo_applied"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().redo_applied));
+    const RecoveryStats& rs = db->restart_stats();
+    state.counters["analysis_records"] =
+        benchmark::Counter(static_cast<double>(rs.analysis_records));
+    state.counters["redo_applied"] =
+        benchmark::Counter(static_cast<double>(rs.redo_applied));
+    state.counters["analysis_us"] =
+        benchmark::Counter(static_cast<double>(rs.analysis_us));
+    state.counters["redo_us"] =
+        benchmark::Counter(static_cast<double>(rs.redo_us));
+    state.counters["undo_us"] =
+        benchmark::Counter(static_cast<double>(rs.undo_us));
     state.counters["logical_undos"] = benchmark::Counter(
         static_cast<double>(db->metrics().logical_undos.load()));
     // Page-oriented redo: the restart performed no tree traversals.
     state.counters["traversal_restarts"] = benchmark::Counter(
         static_cast<double>(db->metrics().traversal_restarts.load()));
+    fprintf(stderr, "BM_Restart/%d: %s\n", n, rs.ToString().c_str());
     db.reset();
     state.ResumeTiming();
   }
@@ -89,12 +97,16 @@ void BM_RestartLosers(benchmark::State& state) {
     state.ResumeTiming();
     auto db = std::move(Database::Open(dir, opts).value());
     state.PauseTiming();
-    state.counters["undo_records"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().undo_records));
+    const RecoveryStats& rs = db->restart_stats();
+    state.counters["undo_records"] =
+        benchmark::Counter(static_cast<double>(rs.undo_records));
+    state.counters["undo_us"] =
+        benchmark::Counter(static_cast<double>(rs.undo_us));
     state.counters["page_oriented_undos"] = benchmark::Counter(
         static_cast<double>(db->metrics().page_oriented_undos.load()));
     state.counters["logical_undos"] = benchmark::Counter(
         static_cast<double>(db->metrics().logical_undos.load()));
+    fprintf(stderr, "BM_RestartLosers/%d: %s\n", n, rs.ToString().c_str());
     db.reset();
     state.ResumeTiming();
   }
@@ -113,10 +125,15 @@ void BM_RestartCheckpointed(benchmark::State& state) {
     state.ResumeTiming();
     auto db = std::move(Database::Open(dir, opts).value());
     state.PauseTiming();
-    state.counters["analysis_records"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().analysis_records));
-    state.counters["redo_applied"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().redo_applied));
+    const RecoveryStats& rs = db->restart_stats();
+    state.counters["analysis_records"] =
+        benchmark::Counter(static_cast<double>(rs.analysis_records));
+    state.counters["redo_applied"] =
+        benchmark::Counter(static_cast<double>(rs.redo_applied));
+    state.counters["total_us"] =
+        benchmark::Counter(static_cast<double>(rs.total_us));
+    fprintf(stderr, "BM_RestartCheckpointed/%d: %s\n", n,
+            rs.ToString().c_str());
     db.reset();
     state.ResumeTiming();
   }
@@ -167,12 +184,16 @@ void BM_RestartTornTail(benchmark::State& state) {
     state.ResumeTiming();
     auto db = std::move(Database::Open(dir, opts).value());
     state.PauseTiming();
-    state.counters["analysis_records"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().analysis_records));
-    state.counters["undo_records"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().undo_records));
-    state.counters["loser_txns"] = benchmark::Counter(
-        static_cast<double>(db->restart_stats().loser_txns));
+    const RecoveryStats& rs = db->restart_stats();
+    state.counters["analysis_records"] =
+        benchmark::Counter(static_cast<double>(rs.analysis_records));
+    state.counters["undo_records"] =
+        benchmark::Counter(static_cast<double>(rs.undo_records));
+    state.counters["loser_txns"] =
+        benchmark::Counter(static_cast<double>(rs.loser_txns));
+    state.counters["undo_us"] =
+        benchmark::Counter(static_cast<double>(rs.undo_us));
+    fprintf(stderr, "BM_RestartTornTail/%d: %s\n", n, rs.ToString().c_str());
     db.reset();
     state.ResumeTiming();
   }

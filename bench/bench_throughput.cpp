@@ -239,6 +239,8 @@ struct CommitRow {
   uint64_t log_flushes;
   uint64_t gc_batches;
   uint64_t gc_txns;
+  HistogramSnapshot commit_lat;  // Metrics::commit_latency over the run
+  HistogramSnapshot fsync_lat;   // Metrics::log_flush_latency over the run
 };
 
 CommitRow RunCommitConfig(int threads, const std::string& mode,
@@ -260,6 +262,10 @@ CommitRow RunCommitConfig(int threads, const std::string& mode,
   uint64_t flushes0 = m.log_flushes.load();
   uint64_t batches0 = m.group_commit_batches.load();
   uint64_t gctxns0 = m.group_commit_txns.load();
+  // Histograms cannot be delta'd like the counters above; reset them so the
+  // percentiles cover only the measured region (setup commits excluded).
+  m.commit_latency.Reset();
+  m.log_flush_latency.Reset();
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> commits{0};
@@ -297,6 +303,8 @@ CommitRow RunCommitConfig(int threads, const std::string& mode,
   row.log_flushes = m.log_flushes.load() - flushes0;
   row.gc_batches = m.group_commit_batches.load() - batches0;
   row.gc_txns = m.group_commit_txns.load() - gctxns0;
+  row.commit_lat = m.commit_latency.Snapshot();
+  row.fsync_lat = m.log_flush_latency.Snapshot();
   return row;
 }
 
@@ -306,9 +314,13 @@ int RunCommitSweep(const std::string& json_path) {
     for (const char* mode : {"group_off", "group_on", "async"}) {
       CommitRow r = RunCommitConfig(threads, mode, /*duration_ms=*/400);
       double cps = static_cast<double>(r.commits) / r.seconds;
-      fprintf(stderr, "commit sweep: threads=%d mode=%-9s commits/s=%10.0f flushes=%llu\n",
+      fprintf(stderr,
+              "commit sweep: threads=%d mode=%-9s commits/s=%10.0f "
+              "flushes=%llu commit p50/p99=%.0f/%.0fus fsync p50/p99=%.0f/%.0fus\n",
               r.threads, r.mode.c_str(), cps,
-              static_cast<unsigned long long>(r.log_flushes));
+              static_cast<unsigned long long>(r.log_flushes),
+              r.commit_lat.p50_us(), r.commit_lat.p99_us(),
+              r.fsync_lat.p50_us(), r.fsync_lat.p99_us());
       rows.push_back(std::move(r));
     }
   }
@@ -330,7 +342,14 @@ int RunCommitSweep(const std::string& json_path) {
         << ", \"log_flushes\": " << r.log_flushes
         << ", \"group_commit_batches\": " << r.gc_batches
         << ", \"group_commit_txns\": " << r.gc_txns
-        << ", \"avg_batch_size\": " << batch << "}"
+        << ", \"avg_batch_size\": " << batch
+        << ", \"commit_p50_us\": " << r.commit_lat.p50_us()
+        << ", \"commit_p95_us\": " << r.commit_lat.p95_us()
+        << ", \"commit_p99_us\": " << r.commit_lat.p99_us()
+        << ", \"commit_max_us\": " << r.commit_lat.max_us()
+        << ", \"fsync_p50_us\": " << r.fsync_lat.p50_us()
+        << ", \"fsync_p95_us\": " << r.fsync_lat.p95_us()
+        << ", \"fsync_p99_us\": " << r.fsync_lat.p99_us() << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "]\n";

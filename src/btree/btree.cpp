@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "btree/search_internal.h"
+#include "common/clock.h"
+#include "common/trace.h"
 
 namespace ariesim {
 
@@ -48,12 +50,22 @@ void BTree::WaitForSmo() {
     ctx_->metrics->smo_waits.fetch_add(1, std::memory_order_relaxed);
     ctx_->metrics->tree_latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
   }
+  ARIES_TRACE_SPAN(span, "bt.smo_wait", TraceCat::kBtree, index_id_);
   tree_latch_.LockInstant(LatchMode::kShared);
 }
 
 void BTree::LockTreeExclusiveCounted() {
   bool waited = !tree_latch_.TryLockExclusive();
-  if (waited) tree_latch_.LockExclusive();
+  if (waited) {
+    // Contended path only: the uncontended TryLock above stays clock-free.
+    const uint64_t wait_start_ns = MonotonicNowNs();
+    ARIES_TRACE_SPAN(span, "bt.tree_latch_wait", TraceCat::kBtree, index_id_);
+    tree_latch_.LockExclusive();
+    if (ctx_->metrics != nullptr) {
+      ctx_->metrics->latch_wait_latency.Record(MonotonicNowNs() -
+                                               wait_start_ns);
+    }
+  }
   if (ctx_->metrics != nullptr) {
     if (waited) {
       ctx_->metrics->tree_latch_waits.fetch_add(1, std::memory_order_relaxed);
@@ -65,6 +77,7 @@ void BTree::LockTreeExclusiveCounted() {
 
 Status BTree::TraverseToLeaf(std::string_view value, Rid rid, bool for_modify,
                              PageGuard* leaf, bool tree_latch_held) {
+  ARIES_TRACE_SPAN(span, "bt.traverse", TraceCat::kBtree, index_id_);
   for (int restart = 0; restart < kMaxRestarts; ++restart) {
     if (restart > 0 && ctx_->metrics != nullptr) {
       ctx_->metrics->traversal_restarts.fetch_add(1, std::memory_order_relaxed);

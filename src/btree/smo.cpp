@@ -9,6 +9,7 @@
 // and turning the root into a one-entry internal page; shrinking collapses
 // a single child back into the root.
 #include "btree/btree.h"
+#include "common/trace.h"
 
 namespace ariesim {
 
@@ -66,6 +67,8 @@ Status BTree::SplitSmoAndInsert(Transaction* txn, std::string_view value,
       break;
     }
     leaf.Release();
+    // Span covers the whole nested top action incl. the SM_Bit reset.
+    ARIES_TRACE_SPAN(smo_span, "bt.smo_split", TraceCat::kBtree, txn->id());
     txn->BeginNta();
     std::vector<PageId> touched;
     Status s = MakeRoomForKey(txn, value, rid, &touched);
@@ -458,6 +461,7 @@ Status BTree::PageDeleteSmo(Transaction* txn, PageGuard leaf,
   v.set_sm_bit(true);
   leaf.Release();
 
+  ARIES_TRACE_SPAN(smo_span, "bt.smo_pagedel", TraceCat::kBtree, txn->id());
   txn->BeginNta();
   std::vector<PageId> touched;
   auto body = [&]() -> Status {

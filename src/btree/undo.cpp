@@ -12,6 +12,7 @@
 // Structural-record undo (an incomplete SMO being rolled back) is always the
 // page-oriented physical inverse, emitted as a redo-only CLR.
 #include "btree/btree.h"
+#include "common/trace.h"
 #include "util/coding.h"
 
 namespace ariesim {
@@ -193,6 +194,7 @@ Status BTree::UndoInsertKey(Transaction* txn, const LogRecord& rec) {
   if (ctx_->metrics != nullptr) {
     ctx_->metrics->logical_undos.fetch_add(1, std::memory_order_relaxed);
   }
+  ARIES_TRACE_SPAN(span, "bt.logical_undo", TraceCat::kBtree, txn->id());
   return LogicalUndoInsert(txn, rec, value, rid);
 }
 
@@ -291,6 +293,7 @@ Status BTree::UndoDeleteKey(Transaction* txn, const LogRecord& rec) {
   if (ctx_->metrics != nullptr) {
     ctx_->metrics->logical_undos.fetch_add(1, std::memory_order_relaxed);
   }
+  ARIES_TRACE_SPAN(span, "bt.logical_undo", TraceCat::kBtree, txn->id());
   return LogicalUndoDelete(txn, rec, value, rid);
 }
 

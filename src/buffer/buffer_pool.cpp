@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/clock.h"
+#include "common/trace.h"
 #include "util/crc32c.h"
 
 namespace ariesim {
@@ -103,9 +105,16 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
     if (victim_dirty) writing_back_.emplace(victim_old_id, victim->rec_lsn);
     lk.unlock();
 
+    // Miss latency: everything between releasing the pool mutex and the
+    // page being usable — evict write-back, disk read, checksum verify and
+    // (worst case) online repair.
+    const uint64_t miss_start_ns = MonotonicNowNs();
+    ARIES_TRACE_SPAN(miss_span, "bp.miss", TraceCat::kBuffer, id);
     Status s;
     bool victim_persisted = true;
     if (victim_dirty) {
+      ARIES_TRACE_SPAN(evict_span, "bp.evict_write", TraceCat::kBuffer,
+                       victim_old_id);
       s = WriteFrame(victim);
       victim_persisted = s.ok();
     }
@@ -140,6 +149,7 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
       // no guard on this page exists anywhere and no new log records for it
       // can be appended while the handler replays its history into the
       // claimed frame. Other pages keep flowing normally.
+      ARIES_TRACE_SPAN(repair_span, "bp.repair", TraceCat::kBuffer, id);
       Status rs = repair_(id, victim->data.get());
       if (rs.ok()) s = Status::OK();
     }
@@ -148,6 +158,9 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
       PageView lv(victim->data.get(), page_size_);
       Status ps = ParanoidCheckLoad(id, lv.page_lsn());
       if (!ps.ok()) s = ps;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->page_miss_latency.Record(MonotonicNowNs() - miss_start_ns);
     }
     lk.lock();
     io_in_progress_.erase(id);
@@ -185,7 +198,16 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
 
 Result<PageGuard> BufferPool::FetchPage(PageId id, LatchMode mode) {
   ARIES_ASSIGN_OR_RETURN(Frame * f, FetchFrame(id));
-  f->latch.Lock(mode);
+  // Try-then-wait so the (common) uncontended acquisition pays no clock
+  // read; only contended ones are timed and traced.
+  if (!f->latch.TryLock(mode)) {
+    const uint64_t wait_start_ns = MonotonicNowNs();
+    ARIES_TRACE_SPAN(span, "bp.latch_wait", TraceCat::kBuffer, id);
+    f->latch.Lock(mode);
+    if (metrics_ != nullptr) {
+      metrics_->latch_wait_latency.Record(MonotonicNowNs() - wait_start_ns);
+    }
+  }
   if (metrics_ != nullptr) {
     metrics_->page_latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
   }

@@ -1,0 +1,20 @@
+// Monotonic clock helper shared by the latency histograms (histogram.h)
+// and the event tracer (trace.h). steady_clock so that suspend/NTP never
+// produces negative durations.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ariesim {
+
+/// Nanoseconds on the process-wide monotonic clock. Only differences are
+/// meaningful; the epoch is unspecified (typically boot time).
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ariesim

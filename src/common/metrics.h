@@ -1,102 +1,195 @@
-// Instrumentation counters. The locking-matrix tests and the lock-count /
-// concurrency benches read these to verify the paper's Figure 2 and its
-// efficiency claims (number of locks acquired, pages accessed during redo /
-// undo / normal processing, logical vs page-oriented undos).
+// Instrumentation counters and latency histograms. The locking-matrix tests
+// and the lock-count / concurrency benches read the counters to verify the
+// paper's Figure 2 and its efficiency claims (number of locks acquired, pages
+// accessed during redo / undo / normal processing, logical vs page-oriented
+// undos); the histograms (PR 4) add the time dimension — where a commit,
+// lock wait, page miss, fsync, latch wait, or online repair spends it.
+// Per-counter semantics live in docs/METRICS.md.
+//
+// Every counter MUST be declared through ARIESIM_METRICS_COUNTERS and every
+// histogram through ARIESIM_METRICS_HISTOGRAMS: the X-macros generate the
+// members, the name tables, Reset(), and the (exhaustive by construction)
+// ToString()/ToJson() emissions. metrics_emission_test.cpp statically checks
+// the struct layout so a member added outside the macros fails the build's
+// observability suite rather than silently vanishing from the stats surface.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "common/histogram.h"
+
 namespace ariesim {
 
+// Declaration order is emission order. Sections: lock manager, latches, I/O,
+// group commit, B-tree, undo paths, recovery passes, self-healing.
+#define ARIESIM_METRICS_COUNTERS(X)                                         \
+  /* Lock manager */                                                        \
+  X(lock_requests)           /* every Lock() call, blocking or not */       \
+  X(locks_granted)           /* grants incl. mode conversions */            \
+  X(lock_waits)              /* requests that had to enqueue */             \
+  X(lock_conditional_denied) /* conditional requests denied, no wait */     \
+  X(deadlocks)               /* victims picked by the waits-for detector */ \
+  /* Latches */                                                             \
+  X(page_latch_acquisitions)                                                \
+  X(tree_latch_acquisitions)                                                \
+  X(tree_latch_waits) /* contended X acquisitions of the tree latch */      \
+  /* I/O */                                                                 \
+  X(pages_read)                                                             \
+  X(pages_written)                                                          \
+  X(log_flushes)                                                            \
+  X(log_records)                                                            \
+  X(log_bytes)                                                              \
+  X(io_retries) /* backoff sleeps re-driving a failed page read/write */    \
+  /* Group commit (docs/METRICS.md derives the coalescing ratio) */         \
+  X(group_commit_batches) /* group flushes that advanced flushed_lsn */     \
+  X(group_commit_txns)    /* commits whose durability rode the group */     \
+  /* B-tree */                                                              \
+  X(smo_splits)                                                             \
+  X(smo_page_deletes)                                                       \
+  X(traversal_restarts)                                                     \
+  X(smo_waits) /* traversals that waited out an SMO */                      \
+  /* Undo paths (paper §3 "Undo Processing") */                             \
+  X(page_oriented_undos)                                                    \
+  X(logical_undos)                                                          \
+  X(smo_structural_undos) /* incomplete-SMO structural records inverted */  \
+  /* Recovery passes */                                                     \
+  X(redo_records_applied)                                                   \
+  X(redo_records_skipped)                                                   \
+  X(undo_records)                                                           \
+  X(torn_pages_repaired)   /* CRC-failed pages rebuilt at restart */        \
+  X(pages_repaired_online) /* pages rebuilt by the no-restart path */       \
+  X(health_trips)          /* kHealthy -> kReadOnly -> kFailed moves */
+
+// Latency histograms, all recording nanoseconds (reported as microseconds).
+#define ARIESIM_METRICS_HISTOGRAMS(X)                                     \
+  X(commit_latency)     /* TransactionManager::Commit, log append->ack */ \
+  X(lock_wait_latency)  /* blocked LockManager::Lock wait time */         \
+  X(latch_wait_latency) /* contended page/tree latch acquisitions */      \
+  X(page_miss_latency)  /* BufferPool miss: evict + read + verify */      \
+  X(log_flush_latency)  /* one WAL tail write + fsync */                  \
+  X(repair_latency)     /* one online page rebuild from the log */
+
 struct Metrics {
-  // Lock manager.
-  std::atomic<uint64_t> lock_requests{0};
-  std::atomic<uint64_t> locks_granted{0};
-  std::atomic<uint64_t> lock_waits{0};
-  std::atomic<uint64_t> lock_conditional_denied{0};
-  std::atomic<uint64_t> deadlocks{0};
+#define ARIESIM_DECLARE_COUNTER(name) std::atomic<uint64_t> name{0};
+  ARIESIM_METRICS_COUNTERS(ARIESIM_DECLARE_COUNTER)
+#undef ARIESIM_DECLARE_COUNTER
 
-  // Latches.
-  std::atomic<uint64_t> page_latch_acquisitions{0};
-  std::atomic<uint64_t> tree_latch_acquisitions{0};
-  std::atomic<uint64_t> tree_latch_waits{0};
+#define ARIESIM_DECLARE_HISTOGRAM(name) LatencyHistogram name;
+  ARIESIM_METRICS_HISTOGRAMS(ARIESIM_DECLARE_HISTOGRAM)
+#undef ARIESIM_DECLARE_HISTOGRAM
 
-  // I/O.
-  std::atomic<uint64_t> pages_read{0};
-  std::atomic<uint64_t> pages_written{0};
-  std::atomic<uint64_t> log_flushes{0};
-  std::atomic<uint64_t> log_records{0};
-  std::atomic<uint64_t> log_bytes{0};
-  /// Extra attempts spent re-driving a failed page read/write/sync before
-  /// the DiskManager gave up (one increment per retry, not per operation).
-  std::atomic<uint64_t> io_retries{0};
+#define ARIESIM_COUNT_ONE(name) +1
+  static constexpr size_t kCounterCount =
+      0 ARIESIM_METRICS_COUNTERS(ARIESIM_COUNT_ONE);
+  static constexpr size_t kHistogramCount =
+      0 ARIESIM_METRICS_HISTOGRAMS(ARIESIM_COUNT_ONE);
+#undef ARIESIM_COUNT_ONE
 
-  // Group commit (see docs/METRICS.md for the coalescing-ratio derivation).
-  /// Group flushes that actually wrote a batch of the tail.
-  std::atomic<uint64_t> group_commit_batches{0};
-  /// Commits (sync and async) whose durability rode the group machinery.
-  std::atomic<uint64_t> group_commit_txns{0};
-
-  // B-tree.
-  std::atomic<uint64_t> smo_splits{0};
-  std::atomic<uint64_t> smo_page_deletes{0};
-  std::atomic<uint64_t> traversal_restarts{0};
-  std::atomic<uint64_t> smo_waits{0};  ///< traversals that waited out an SMO
-
-  // Undo paths (paper §3 "Undo Processing").
-  std::atomic<uint64_t> page_oriented_undos{0};
-  std::atomic<uint64_t> logical_undos{0};
-  /// Structural records of an incomplete SMO physically inverted during
-  /// undo — nonzero exactly when a crash landed inside a nested top action.
-  std::atomic<uint64_t> smo_structural_undos{0};
-
-  // Recovery passes.
-  std::atomic<uint64_t> redo_records_applied{0};
-  std::atomic<uint64_t> redo_records_skipped{0};
-  std::atomic<uint64_t> undo_records{0};
-  /// Pages whose on-disk image failed its CRC at restart and were rebuilt
-  /// from the log (torn-write repair).
-  std::atomic<uint64_t> torn_pages_repaired{0};
-  /// Pages rebuilt from the log by the online (no-restart) media-recovery
-  /// path after a fetch-time checksum or read failure.
-  std::atomic<uint64_t> pages_repaired_online{0};
-  /// Health-state transitions (kHealthy -> kReadOnly -> kFailed). Each
-  /// distinct downward transition counts once.
-  std::atomic<uint64_t> health_trips{0};
-
-  void Reset() {
-    auto z = [](std::atomic<uint64_t>& a) { a.store(0, std::memory_order_relaxed); };
-    z(lock_requests); z(locks_granted); z(lock_waits); z(lock_conditional_denied);
-    z(deadlocks); z(page_latch_acquisitions); z(tree_latch_acquisitions);
-    z(tree_latch_waits); z(pages_read); z(pages_written); z(log_flushes);
-    z(log_records); z(log_bytes); z(io_retries);
-    z(group_commit_batches); z(group_commit_txns);
-    z(smo_splits); z(smo_page_deletes);
-    z(traversal_restarts); z(smo_waits); z(page_oriented_undos); z(logical_undos);
-    z(smo_structural_undos); z(redo_records_applied); z(redo_records_skipped);
-    z(undo_records); z(torn_pages_repaired); z(pages_repaired_online);
-    z(health_trips);
+  /// Counter names, in declaration (= emission) order.
+  static const char* const* CounterNames() {
+#define ARIESIM_NAME_ONE(name) #name,
+    static const char* const kNames[] = {
+        ARIESIM_METRICS_COUNTERS(ARIESIM_NAME_ONE)};
+#undef ARIESIM_NAME_ONE
+    return kNames;
   }
 
+  static const char* const* HistogramNames() {
+#define ARIESIM_NAME_ONE(name) #name,
+    static const char* const kNames[] = {
+        ARIESIM_METRICS_HISTOGRAMS(ARIESIM_NAME_ONE)};
+#undef ARIESIM_NAME_ONE
+    return kNames;
+  }
+
+  void Reset() {
+#define ARIESIM_RESET_COUNTER(name) name.store(0, std::memory_order_relaxed);
+    ARIESIM_METRICS_COUNTERS(ARIESIM_RESET_COUNTER)
+#undef ARIESIM_RESET_COUNTER
+#define ARIESIM_RESET_HISTOGRAM(name) name.Reset();
+    ARIESIM_METRICS_HISTOGRAMS(ARIESIM_RESET_HISTOGRAM)
+#undef ARIESIM_RESET_HISTOGRAM
+  }
+
+  /// One-line `name=value` dump of every counter (histograms are summarized
+  /// as `name_p50_us/p99_us` only when populated). Exhaustive by
+  /// construction: a counter added to the X-macro appears here for free.
   std::string ToString() const {
-    auto g = [](const std::atomic<uint64_t>& a) {
-      return std::to_string(a.load(std::memory_order_relaxed));
+    std::string out;
+    out.reserve(kCounterCount * 24);
+    bool first = true;
+#define ARIESIM_PRINT_COUNTER(n)                                  \
+  if (!first) out += ' ';                                         \
+  first = false;                                                  \
+  out += #n "=";                                                  \
+  out += std::to_string(n.load(std::memory_order_relaxed));
+    ARIESIM_METRICS_COUNTERS(ARIESIM_PRINT_COUNTER)
+#undef ARIESIM_PRINT_COUNTER
+#define ARIESIM_PRINT_HISTOGRAM(n)                                \
+  {                                                               \
+    HistogramSnapshot s = n.Snapshot();                           \
+    if (s.count > 0) {                                            \
+      out += " " #n "_p50_us=";                                   \
+      out += std::to_string(static_cast<uint64_t>(s.p50_us()));   \
+      out += " " #n "_p99_us=";                                   \
+      out += std::to_string(static_cast<uint64_t>(s.p99_us()));   \
+    }                                                             \
+  }
+    ARIESIM_METRICS_HISTOGRAMS(ARIESIM_PRINT_HISTOGRAM)
+#undef ARIESIM_PRINT_HISTOGRAM
+    return out;
+  }
+
+  /// Structured dump: {"counters":{...all...},"histograms":{...all...}}.
+  /// Histograms always emit (count 0 included) so consumers can rely on the
+  /// key set. See docs/METRICS.md for the schema.
+  std::string ToJson() const {
+    std::string out;
+    out.reserve(1024);
+    out += "{\"counters\":{";
+    bool first = true;
+#define ARIESIM_JSON_COUNTER(n)                                   \
+  if (!first) out += ',';                                         \
+  first = false;                                                  \
+  out += "\"" #n "\":";                                           \
+  out += std::to_string(n.load(std::memory_order_relaxed));
+    ARIESIM_METRICS_COUNTERS(ARIESIM_JSON_COUNTER)
+#undef ARIESIM_JSON_COUNTER
+    out += "},\"histograms\":{";
+    first = true;
+#define ARIESIM_JSON_HISTOGRAM(n)                                 \
+  if (!first) out += ',';                                         \
+  first = false;                                                  \
+  out += "\"" #n "\":";                                           \
+  AppendHistogramJson(n.Snapshot(), &out);
+    ARIESIM_METRICS_HISTOGRAMS(ARIESIM_JSON_HISTOGRAM)
+#undef ARIESIM_JSON_HISTOGRAM
+    out += "}}";
+    return out;
+  }
+
+  static void AppendHistogramJson(const HistogramSnapshot& s,
+                                  std::string* out) {
+    auto us = [](double v) {
+      // Fixed 3-decimal microseconds without locale surprises.
+      uint64_t milli_us = static_cast<uint64_t>(v * 1000.0 + 0.5);
+      std::string r = std::to_string(milli_us / 1000);
+      uint64_t frac = milli_us % 1000;
+      r += '.';
+      if (frac < 100) r += '0';
+      if (frac < 10) r += '0';
+      r += std::to_string(frac);
+      return r;
     };
-    return "locks=" + g(locks_granted) + " lock_waits=" + g(lock_waits) +
-           " deadlocks=" + g(deadlocks) + " reads=" + g(pages_read) +
-           " writes=" + g(pages_written) + " log_recs=" + g(log_records) +
-           " log_bytes=" + g(log_bytes) + " log_flushes=" + g(log_flushes) +
-           " io_retries=" + g(io_retries) +
-           " gc_batches=" + g(group_commit_batches) +
-           " gc_txns=" + g(group_commit_txns) +
-           " splits=" + g(smo_splits) + " page_dels=" + g(smo_page_deletes) +
-           " restarts=" + g(traversal_restarts) +
-           " po_undos=" + g(page_oriented_undos) + " log_undos=" + g(logical_undos) +
-           " torn_repaired=" + g(torn_pages_repaired) +
-           " repaired_online=" + g(pages_repaired_online) +
-           " health_trips=" + g(health_trips);
+    *out += "{\"count\":" + std::to_string(s.count);
+    *out += ",\"p50_us\":" + us(s.p50_us());
+    *out += ",\"p95_us\":" + us(s.p95_us());
+    *out += ",\"p99_us\":" + us(s.p99_us());
+    *out += ",\"max_us\":" + us(s.max_us());
+    *out += ",\"mean_us\":" + us(s.mean_us());
+    *out += "}";
   }
 };
 

@@ -1,0 +1,229 @@
+#include "common/trace.h"
+
+#if ARIESIM_TRACE_COMPILED
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace ariesim {
+
+namespace trace_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;   // string literal; never owned
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint64_t arg;
+  uint32_t tid;
+  TraceCat cat;
+  bool instant;
+};
+
+}  // namespace
+
+/// One thread's event storage. The mutex is effectively uncontended (only
+/// Dump/Clear from another thread ever take it), but it is what makes the
+/// tracer TSan-clean without per-field atomics.
+struct TraceRing {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // grows to capacity, then cycles via next
+  size_t capacity = 0;
+  size_t next = 0;        // overwrite cursor once full
+  uint64_t recorded = 0;  // total events ever landed here
+  uint64_t dropped = 0;   // oldest events overwritten
+  uint32_t tid = 0;       // reassigned when the ring is recycled
+  bool attached = false;  // currently bound to a live thread
+};
+
+namespace {
+
+/// Thread-exit hook: returns the ring to the freelist so a later thread can
+/// reuse it (its buffered events stay dumpable until then).
+struct RingHandle {
+  TraceRing* ring = nullptr;
+  ~RingHandle() {
+    if (ring != nullptr) Tracer::Instance().ReleaseRing(ring);
+  }
+};
+
+thread_local RingHandle t_ring_handle;
+
+}  // namespace
+
+Tracer& Tracer::Instance() {
+  // Deliberately leaked: detached threads may run their thread_local
+  // destructors (ReleaseRing) after main() returns, which must not race a
+  // destroyed static.
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+TraceRing* Tracer::LocalRing() {
+  if (t_ring_handle.ring == nullptr) t_ring_handle.ring = AcquireRing();
+  return t_ring_handle.ring;
+}
+
+TraceRing* Tracer::AcquireRing() {
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  TraceRing* r;
+  if (!free_rings_.empty()) {
+    r = free_rings_.back();
+    free_rings_.pop_back();
+  } else {
+    rings_.push_back(std::make_unique<TraceRing>());
+    r = rings_.back().get();
+  }
+  std::lock_guard<std::mutex> lk(r->mu);
+  if (r->capacity != ring_capacity_) {
+    // Recycled ring adopts the current capacity (its stale events go with
+    // the old buffer); new rings take this path too (capacity starts at 0).
+    r->events.clear();
+    r->events.shrink_to_fit();
+    r->next = 0;
+    r->capacity = ring_capacity_;
+    r->events.reserve(r->capacity);
+  }
+  r->attached = true;
+  r->tid = next_tid_++;  // fresh tid so recycled rings don't conflate threads
+  return r;
+}
+
+void Tracer::ReleaseRing(TraceRing* ring) {
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  std::lock_guard<std::mutex> lk(ring->mu);
+  ring->attached = false;
+  free_rings_.push_back(ring);
+}
+
+void Tracer::Record(const char* name, TraceCat cat, uint64_t start_ns,
+                    uint64_t dur_ns, uint64_t arg, bool instant) {
+  TraceRing* r = LocalRing();
+  std::lock_guard<std::mutex> lk(r->mu);
+  TraceEvent ev{name, start_ns, dur_ns, arg, r->tid, cat, instant};
+  if (r->events.size() < r->capacity) {
+    r->events.push_back(ev);
+  } else if (r->capacity > 0) {
+    r->events[r->next] = ev;
+    r->next = (r->next + 1) % r->capacity;
+    r->dropped++;
+  } else {
+    r->dropped++;  // zero-capacity ring: count, keep nothing
+  }
+  r->recorded++;
+}
+
+std::string Tracer::DumpJson() {
+  std::vector<TraceEvent> all;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> reg(reg_mu_);
+    for (auto& rp : rings_) {
+      TraceRing* r = rp.get();
+      std::lock_guard<std::mutex> lk(r->mu);
+      if (r->events.size() < r->capacity || r->capacity == 0) {
+        all.insert(all.end(), r->events.begin(), r->events.end());
+      } else {
+        // Ring has wrapped: oldest event sits at the overwrite cursor.
+        all.insert(all.end(), r->events.begin() + static_cast<long>(r->next),
+                   r->events.end());
+        all.insert(all.end(), r->events.begin(),
+                   r->events.begin() + static_cast<long>(r->next));
+      }
+      dropped += r->dropped;
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  // Rebase timestamps so the trace starts at t=0 (keeps the JSON small and
+  // Perfetto's ruler readable); Chrome format wants microsecond doubles.
+  const uint64_t base_ns = all.empty() ? 0 : all.front().start_ns;
+
+  std::string out;
+  out.reserve(128 + all.size() * 96);
+  out += "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : all) {
+    double ts_us = static_cast<double>(ev.start_ns - base_ns) / 1000.0;
+    int n;
+    if (ev.instant) {
+      n = std::snprintf(buf, sizeof(buf),
+                        "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                        "\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                        "\"args\":{\"arg\":%llu}}",
+                        first ? "" : ",", ev.name, TraceCatName(ev.cat), ts_us,
+                        ev.tid, static_cast<unsigned long long>(ev.arg));
+    } else {
+      double dur_us = static_cast<double>(ev.dur_ns) / 1000.0;
+      n = std::snprintf(buf, sizeof(buf),
+                        "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                        "\"args\":{\"arg\":%llu}}",
+                        first ? "" : ",", ev.name, TraceCatName(ev.cat), ts_us,
+                        dur_us, ev.tid,
+                        static_cast<unsigned long long>(ev.arg));
+    }
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":\"";
+  out += std::to_string(dropped);
+  out += "\"}}\n";
+  return out;
+}
+
+Status Tracer::Dump(const std::string& path) {
+  std::string json = DumpJson();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f.is_open()) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.flush();
+  if (!f.good()) return Status::IOError("short write to trace file: " + path);
+  return Status::OK();
+}
+
+TraceCounts Tracer::Counts() {
+  TraceCounts c;
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  c.rings = rings_.size();
+  for (auto& rp : rings_) {
+    std::lock_guard<std::mutex> lk(rp->mu);
+    c.recorded += rp->recorded;
+    c.dropped += rp->dropped;
+  }
+  return c;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  for (auto& rp : rings_) {
+    std::lock_guard<std::mutex> lk(rp->mu);
+    rp->events.clear();
+    rp->next = 0;
+    rp->recorded = 0;
+    rp->dropped = 0;
+  }
+}
+
+void Tracer::SetRingCapacity(size_t events) {
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  ring_capacity_ = events;
+}
+
+size_t Tracer::ring_capacity() {
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  return ring_capacity_;
+}
+
+}  // namespace ariesim
+
+#endif  // ARIESIM_TRACE_COMPILED

@@ -1,0 +1,221 @@
+// Per-thread ring-buffer event tracer (see docs/OBSERVABILITY.md).
+//
+// Design constraints, in priority order:
+//   1. Near-zero cost when disabled: every ARIES_TRACE_* site is one relaxed
+//      atomic load of a process-wide flag. No clock read, no allocation.
+//   2. Bounded memory: each thread writes fixed-size binary events into its
+//      own fixed-capacity ring; when the ring is full the oldest event is
+//      overwritten and a drop counter incremented. Rings are recycled through
+//      a freelist when threads exit, so memory is bounded by the *peak
+//      concurrent* thread count, not the total threads ever started.
+//   3. TSan-clean: each ring has its own (per-thread, hence uncontended)
+//      mutex; Dump/Clear take the registry mutex and then each ring's.
+//
+// DumpJson() exports Chrome `trace_event` JSON — load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Spans are complete events
+// (ph "X", microsecond timestamps); instants are ph "i".
+//
+// Building with cmake -DARIESIM_TRACE=OFF defines ARIESIM_TRACE_OFF and
+// compiles all of this out: the macros expand to nothing and the Tracer
+// becomes an inline stub whose Dump() returns Status::NotSupported.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+#if defined(ARIESIM_TRACE_OFF)
+#define ARIESIM_TRACE_COMPILED 0
+#else
+#define ARIESIM_TRACE_COMPILED 1
+#endif
+
+namespace ariesim {
+
+/// Event category — becomes the Chrome trace "cat" field, so Perfetto can
+/// filter per subsystem.
+enum class TraceCat : uint8_t {
+  kTxn = 0,
+  kWal,
+  kLock,
+  kBuffer,
+  kBtree,
+  kRecovery,
+};
+
+inline const char* TraceCatName(TraceCat c) {
+  switch (c) {
+    case TraceCat::kTxn: return "txn";
+    case TraceCat::kWal: return "wal";
+    case TraceCat::kLock: return "lock";
+    case TraceCat::kBuffer: return "buffer";
+    case TraceCat::kBtree: return "btree";
+    case TraceCat::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+/// Aggregate tracer occupancy, reported by Database::Stats().
+struct TraceCounts {
+  uint64_t recorded = 0;  ///< events ever recorded (including overwritten)
+  uint64_t dropped = 0;   ///< events overwritten because a ring was full
+  uint64_t rings = 0;     ///< thread rings allocated (peak concurrent threads)
+};
+
+#if ARIESIM_TRACE_COMPILED
+
+namespace trace_internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_internal
+
+/// The one branch every disabled trace site pays.
+inline bool TraceEnabled() {
+  return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+struct TraceRing;
+
+/// Process-wide tracer singleton. All engine instances in a process share it
+/// (traces are about threads, and threads cross Database boundaries only in
+/// tests); Database::SetTracing/DumpTrace are thin wrappers over it.
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  void Enable() { trace_internal::g_enabled.store(true, std::memory_order_relaxed); }
+  void Disable() { trace_internal::g_enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return TraceEnabled(); }
+
+  /// Append one event to the calling thread's ring. `name` must be a string
+  /// literal (or otherwise outlive the tracer) — events store the pointer.
+  void Record(const char* name, TraceCat cat, uint64_t start_ns,
+              uint64_t dur_ns, uint64_t arg, bool instant = false);
+
+  /// Serialize every ring's events as Chrome trace_event JSON.
+  std::string DumpJson();
+  /// DumpJson() to a file.
+  Status Dump(const std::string& path);
+
+  TraceCounts Counts();
+
+  /// Drop all buffered events and zero the drop counters (rings stay
+  /// allocated). Tracing enablement is unchanged.
+  void Clear();
+
+  /// Capacity, in events, of rings acquired *after* this call — newly
+  /// allocated or recycled to a fresh thread (rings attached to live threads
+  /// keep theirs). Process-wide; mainly for tests and memory tuning.
+  void SetRingCapacity(size_t events);
+  size_t ring_capacity();
+
+  // Internal: thread-exit hook (public for the thread_local handle).
+  void ReleaseRing(TraceRing* ring);
+
+ private:
+  Tracer() = default;
+  TraceRing* LocalRing();
+  TraceRing* AcquireRing();
+
+  std::mutex reg_mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<TraceRing*> free_rings_;
+  size_t ring_capacity_ = 8192;  // ~48 B/event -> ~384 KiB per thread ring
+  uint32_t next_tid_ = 1;
+};
+
+/// RAII span: samples the clock at construction if tracing is on, records a
+/// complete ("X") event at destruction. When tracing is off both ends are a
+/// single relaxed load.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, TraceCat cat, uint64_t arg = 0) {
+    if (TraceEnabled()) {
+      name_ = name;
+      cat_ = cat;
+      arg_ = arg;
+      start_ns_ = MonotonicNowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::Instance().Record(name_, cat_, start_ns_,
+                                MonotonicNowNs() - start_ns_, arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t arg_ = 0;
+  TraceCat cat_ = TraceCat::kTxn;
+};
+
+inline void TraceInstant(const char* name, TraceCat cat, uint64_t arg = 0) {
+  if (TraceEnabled()) {
+    uint64_t now = MonotonicNowNs();
+    Tracer::Instance().Record(name, cat, now, 0, arg, /*instant=*/true);
+  }
+}
+
+#else  // !ARIESIM_TRACE_COMPILED — inline no-op stubs, same API surface.
+
+inline bool TraceEnabled() { return false; }
+
+class Tracer {
+ public:
+  static Tracer& Instance() {
+    static Tracer t;
+    return t;
+  }
+  void Enable() {}
+  void Disable() {}
+  bool enabled() const { return false; }
+  void Record(const char*, TraceCat, uint64_t, uint64_t, uint64_t,
+              bool = false) {}
+  std::string DumpJson() { return "{\"traceEvents\":[]}\n"; }
+  Status Dump(const std::string&) {
+    return Status::NotSupported("tracing compiled out (ARIESIM_TRACE=OFF)");
+  }
+  TraceCounts Counts() { return {}; }
+  void Clear() {}
+  void SetRingCapacity(size_t) {}
+  size_t ring_capacity() { return 0; }
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(const char*, TraceCat, uint64_t = 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+inline void TraceInstant(const char*, TraceCat, uint64_t = 0) {}
+
+#endif  // ARIESIM_TRACE_COMPILED
+
+// Instrumentation macros. These (not direct TraceSpan use) are what engine
+// code should write: with ARIESIM_TRACE=OFF they expand to nothing at all,
+// so not even the name literals reach the binary.
+#if ARIESIM_TRACE_COMPILED
+#define ARIES_TRACE_SPAN(var, name, cat, arg) \
+  ::ariesim::TraceSpan var((name), (cat), static_cast<uint64_t>(arg))
+#define ARIES_TRACE_INSTANT(name, cat, arg) \
+  ::ariesim::TraceInstant((name), (cat), static_cast<uint64_t>(arg))
+#else
+#define ARIES_TRACE_SPAN(var, name, cat, arg) \
+  do {                                        \
+  } while (0)
+#define ARIES_TRACE_INSTANT(name, cat, arg) \
+  do {                                      \
+  } while (0)
+#endif
+
+}  // namespace ariesim

@@ -57,7 +57,8 @@ Status Database::DoOpen(const std::string& dir) {
     pool->NoteDirtyById(id, lsn);
   });
   locks_ = std::make_unique<LockManager>(&metrics_);
-  txns_ = std::make_unique<TransactionManager>(log_.get(), locks_.get());
+  txns_ = std::make_unique<TransactionManager>(log_.get(), locks_.get(),
+                                               &metrics_);
 
   ctx_.pool = pool_.get();
   ctx_.disk = disk_.get();
@@ -107,6 +108,8 @@ Status Database::DoOpen(const std::string& dir) {
 void Database::InstallOnlineRepair() {
   if (!options_.online_page_repair) return;
   pool_->SetRepairHandler([this](PageId id, char* buf) {
+    // Repair duration (success or failure — both end the page's outage).
+    ScopedLatency timer(&metrics_.repair_latency);
     Status s = recovery_->RebuildPageImage(id, buf);
     if (s.ok()) {
       metrics_.pages_repaired_online.fetch_add(1, std::memory_order_relaxed);
@@ -291,6 +294,66 @@ BTree* Database::GetIndex(const std::string& name) {
   if (it == index_names_.end()) return nullptr;
   auto tit = trees_.find(it->second);
   return tit == trees_.end() ? nullptr : tit->second.get();
+}
+
+std::string DatabaseStats::ToJson() const {
+  std::string out;
+  out.reserve(metrics_json.size() + 512);
+  out += "{\"metrics\":";
+  out += metrics_json;
+  out += ",\"health\":\"";
+  out += EngineHealthName(health);
+  out += "\",\"health_reason\":\"";
+  // The reason is engine-generated prose; escape the two characters that
+  // could break the JSON string.
+  for (char c : health_reason) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\",\"restart\":{";
+  out += "\"analysis_records\":" + std::to_string(restart.analysis_records);
+  out += ",\"analysis_us\":" + std::to_string(restart.analysis_us);
+  out += ",\"redo_records\":" + std::to_string(restart.redo_records);
+  out += ",\"redo_applied\":" + std::to_string(restart.redo_applied);
+  out += ",\"redo_us\":" + std::to_string(restart.redo_us);
+  out += ",\"undo_records\":" + std::to_string(restart.undo_records);
+  out += ",\"undo_us\":" + std::to_string(restart.undo_us);
+  out += ",\"loser_txns\":" + std::to_string(restart.loser_txns);
+  out += ",\"torn_pages_repaired\":" +
+         std::to_string(restart.torn_pages_repaired);
+  out += ",\"total_us\":" + std::to_string(restart.total_us);
+  out += "},\"trace\":{";
+  out += "\"enabled\":" + std::string(tracing_enabled ? "true" : "false");
+  out += ",\"recorded\":" + std::to_string(trace.recorded);
+  out += ",\"dropped\":" + std::to_string(trace.dropped);
+  out += ",\"rings\":" + std::to_string(trace.rings);
+  out += "}}";
+  return out;
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats s;
+  s.metrics_json = metrics_.ToJson();
+  s.health = health_.state();
+  s.health_reason = health_.reason();
+  s.restart = restart_stats_;
+  s.trace = Tracer::Instance().Counts();
+  s.tracing_enabled = Tracer::Instance().enabled();
+  return s;
+}
+
+void Database::SetTracing(bool on) {
+  if (on) {
+    Tracer::Instance().Enable();
+  } else {
+    Tracer::Instance().Disable();
+  }
+}
+
+bool Database::tracing() const { return Tracer::Instance().enabled(); }
+
+Status Database::DumpTrace(const std::string& path) {
+  return Tracer::Instance().Dump(path);
 }
 
 Status Database::Checkpoint() { return recovery_->TakeCheckpoint(); }

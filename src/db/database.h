@@ -14,6 +14,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/context.h"
 #include "common/health.h"
+#include "common/trace.h"
 #include "db/catalog.h"
 #include "db/table.h"
 #include "lock/lock_manager.h"
@@ -25,6 +26,21 @@
 #include "wal/log_manager.h"
 
 namespace ariesim {
+
+/// Point-in-time engine snapshot: every counter and histogram, the health
+/// state, the last restart's per-pass stats and the tracer's occupancy.
+/// Returned by Database::Stats(); ToJson() is what `.stats` in tools/ariesh
+/// prints and what benches archive.
+struct DatabaseStats {
+  std::string metrics_json;  ///< Metrics::ToJson() — counters + histograms
+  EngineHealth health = EngineHealth::kHealthy;
+  std::string health_reason;
+  RecoveryStats restart;  ///< zeroed if this incarnation ran no recovery
+  TraceCounts trace;
+  bool tracing_enabled = false;
+
+  std::string ToJson() const;
+};
 
 class Database {
  public:
@@ -85,6 +101,19 @@ class Database {
   EngineHealth Health() const { return health_.state(); }
   /// Why the engine degraded (empty while healthy).
   std::string HealthReason() const { return health_.reason(); }
+
+  // -- observability (see docs/OBSERVABILITY.md) ----------------------------
+  /// Structured snapshot of counters, histograms, health, restart stats and
+  /// tracer occupancy.
+  DatabaseStats Stats() const;
+  /// Turn the process-wide event tracer on/off. Near-zero cost while off;
+  /// bounded per-thread ring buffers while on.
+  void SetTracing(bool on);
+  bool tracing() const;
+  /// Write all buffered trace events as Chrome trace_event JSON, loadable in
+  /// Perfetto (ui.perfetto.dev) or chrome://tracing. Returns NotSupported
+  /// when built with -DARIESIM_TRACE=OFF.
+  Status DumpTrace(const std::string& path);
 
   EngineContext* ctx() { return &ctx_; }
   const Catalog* catalog() const { return catalog_.get(); }

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "common/histogram.h"
+#include "common/trace.h"
+
 namespace ariesim {
 
 LockManager::TxnLockState& LockManager::State(TxnId txn) {
@@ -168,6 +171,11 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
         if (metrics_ != nullptr) {
           metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
         }
+        // Wait time (granted or deadlock-aborted) lands in the histogram and
+        // as a trace span when both RAII objects leave this block.
+        ScopedLatency wait_timer(
+            metrics_ != nullptr ? &metrics_->lock_wait_latency : nullptr);
+        ARIES_TRACE_SPAN(wait_span, "lock.wait", TraceCat::kLock, txn);
         while (mine->converting) {
           TxnId victim = DetectDeadlock(txn);
           if (victim != kInvalidTxnId) {
@@ -225,6 +233,9 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
         if (metrics_ != nullptr) {
           metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
         }
+        ScopedLatency wait_timer(
+            metrics_ != nullptr ? &metrics_->lock_wait_latency : nullptr);
+        ARIES_TRACE_SPAN(wait_span, "lock.wait", TraceCat::kLock, txn);
         while (!mine->granted) {
           TxnId victim = DetectDeadlock(txn);
           if (victim != kInvalidTxnId) {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "common/clock.h"
+#include "common/trace.h"
 #include "storage/disk_manager.h"
 #include "storage/space_manager.h"
 #include "util/coding.h"
@@ -304,6 +306,7 @@ Status RecoveryManager::RollForwardPage(PageId page, Lsn from) {
 }
 
 Status RecoveryManager::RebuildPageImage(PageId page, char* buf) {
+  ARIES_TRACE_SPAN(span, "recovery.rebuild_page", TraceCat::kRecovery, page);
   if (ctx_->disk == nullptr) {
     return Status::Corruption("page " + std::to_string(page) +
                               " checksum mismatch (no disk for repair)");
@@ -366,15 +369,42 @@ Status RecoveryManager::RepairPage(PageId page) {
 }
 
 Status RecoveryManager::Restart(RestartStats* stats) {
+  // Always have a stats object so pass timing needs no null checks; copy out
+  // to the caller's on every exit (including mid-restart failures).
+  RestartStats local;
+  if (stats == nullptr) stats = &local;
+  const uint64_t t_start = MonotonicNowNs();
+  ARIES_TRACE_SPAN(restart_span, "recovery.restart", TraceCat::kRecovery, 0);
+
   Lsn start = kLogFilePrologue;
   auto master = ctx_->log->ReadMaster();
   if (master.ok()) start = master.value();
 
   AnalysisResult ar;
-  ARIES_RETURN_NOT_OK(Analyze(start, &ar, stats));
-  ARIES_RETURN_NOT_OK(RedoPass(ar, stats));
-  ARIES_RETURN_NOT_OK(UndoPass(ar, stats));
-  return TakeCheckpoint();
+  {
+    ARIES_TRACE_SPAN(span, "recovery.analysis", TraceCat::kRecovery, start);
+    uint64_t t0 = MonotonicNowNs();
+    Status s = Analyze(start, &ar, stats);
+    stats->analysis_us = (MonotonicNowNs() - t0) / 1000;
+    ARIES_RETURN_NOT_OK(s);
+  }
+  {
+    ARIES_TRACE_SPAN(span, "recovery.redo", TraceCat::kRecovery, 0);
+    uint64_t t0 = MonotonicNowNs();
+    Status s = RedoPass(ar, stats);
+    stats->redo_us = (MonotonicNowNs() - t0) / 1000;
+    ARIES_RETURN_NOT_OK(s);
+  }
+  {
+    ARIES_TRACE_SPAN(span, "recovery.undo", TraceCat::kRecovery, 0);
+    uint64_t t0 = MonotonicNowNs();
+    Status s = UndoPass(ar, stats);
+    stats->undo_us = (MonotonicNowNs() - t0) / 1000;
+    ARIES_RETURN_NOT_OK(s);
+  }
+  Status s = TakeCheckpoint();
+  stats->total_us = (MonotonicNowNs() - t_start) / 1000;
+  return s;
 }
 
 }  // namespace ariesim

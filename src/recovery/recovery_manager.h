@@ -30,7 +30,28 @@ struct RestartStats {
   uint64_t loser_txns = 0;
   uint64_t torn_pages_repaired = 0;  ///< CRC failures rebuilt from the log
   Lsn redo_start = kNullLsn;
+  // Per-pass wall-clock durations (PR 4 observability). `total_us` also
+  // covers the trailing checkpoint, so it can exceed the three passes' sum.
+  uint64_t analysis_us = 0;
+  uint64_t redo_us = 0;
+  uint64_t undo_us = 0;
+  uint64_t total_us = 0;
+
+  std::string ToString() const {
+    return "analysis=" + std::to_string(analysis_records) + " recs/" +
+           std::to_string(analysis_us) + "us redo=" +
+           std::to_string(redo_applied) + "/" + std::to_string(redo_records) +
+           " applied/" + std::to_string(redo_us) + "us undo=" +
+           std::to_string(undo_records) + " recs/" + std::to_string(undo_us) +
+           "us losers=" + std::to_string(loser_txns) +
+           " torn_repaired=" + std::to_string(torn_pages_repaired) +
+           " total=" + std::to_string(total_us) + "us";
+  }
 };
+
+/// The restart summary doubles as the per-pass recovery report
+/// (duration + record counts per analysis/redo/undo pass).
+using RecoveryStats = RestartStats;
 
 class RecoveryManager {
  public:

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/lock_manager.h"
@@ -28,8 +29,9 @@ struct TxnTableEntry {
 
 class TransactionManager {
  public:
-  TransactionManager(LogManager* log, LockManager* locks)
-      : log_(log), locks_(locks) {}
+  TransactionManager(LogManager* log, LockManager* locks,
+                     Metrics* metrics = nullptr)
+      : log_(log), locks_(locks), metrics_(metrics) {}
 
   /// Late wiring (RecoveryManager also needs this object).
   void SetRecovery(RecoveryManager* r) { recovery_ = r; }
@@ -80,6 +82,7 @@ class TransactionManager {
  private:
   LogManager* log_;
   LockManager* locks_;
+  Metrics* metrics_ = nullptr;
   RecoveryManager* recovery_ = nullptr;
 
   std::mutex mu_;

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/trace.h"
 #include "util/coding.h"
 
 namespace ariesim {
@@ -137,24 +139,31 @@ Status LogManager::FlushLockedImpl() {
     }
   }
   // Flush the whole tail (simple, and amortizes well under group pressure).
-  ssize_t n = ::pwrite(fd_, buffer_.data(), buffer_.size(),
-                       static_cast<off_t>(buffer_base_));
-  if (n < 0) {
-    return Status::IOError("pwrite log: " + std::string(std::strerror(errno)));
-  }
-  if (static_cast<size_t>(n) != buffer_.size()) {
-    return Status::IOError("short pwrite of log tail: wrote " +
-                           std::to_string(n) + " of " +
-                           std::to_string(buffer_.size()) + " bytes");
-  }
-  if (fsync_on_flush_ && ::fdatasync(fd_) != 0) {
-    return Status::IOError("fdatasync log");
+  const uint64_t flush_start_ns = MonotonicNowNs();
+  {
+    // The fsync span is the serial heart of the group-commit pipeline; it is
+    // also recorded on the error returns so a stall shows up in the trace.
+    ARIES_TRACE_SPAN(span, "wal.fsync", TraceCat::kWal, buffer_.size());
+    ssize_t n = ::pwrite(fd_, buffer_.data(), buffer_.size(),
+                         static_cast<off_t>(buffer_base_));
+    if (n < 0) {
+      return Status::IOError("pwrite log: " + std::string(std::strerror(errno)));
+    }
+    if (static_cast<size_t>(n) != buffer_.size()) {
+      return Status::IOError("short pwrite of log tail: wrote " +
+                             std::to_string(n) + " of " +
+                             std::to_string(buffer_.size()) + " bytes");
+    }
+    if (fsync_on_flush_ && ::fdatasync(fd_) != 0) {
+      return Status::IOError("fdatasync log");
+    }
   }
   buffer_base_ = next_lsn_.load();
   flushed_lsn_ = next_lsn_.load();
   buffer_.clear();
   if (metrics_ != nullptr) {
     metrics_->log_flushes.fetch_add(1, std::memory_order_relaxed);
+    metrics_->log_flush_latency.Record(MonotonicNowNs() - flush_start_ns);
   }
   // Any flush can satisfy group-commit waiters (capacity spills and WAL-rule
   // forces advance flushed_lsn_ too). Notifying without gc_mu_ is legal; the
@@ -187,6 +196,7 @@ void LogManager::RequestFlush(Lsn lsn) {
   if (metrics_ != nullptr && group_commit_) {
     metrics_->group_commit_txns.fetch_add(1, std::memory_order_relaxed);
   }
+  ARIES_TRACE_INSTANT("gc.enqueue", TraceCat::kWal, lsn);
   std::lock_guard<std::mutex> lk(gc_mu_);
   gc_requested_ = std::max(gc_requested_, lsn);
   flusher_cv_.notify_one();
@@ -194,6 +204,9 @@ void LogManager::RequestFlush(Lsn lsn) {
 
 Status LogManager::GroupFlushAttempt(Lsn* end_out) {
   Lsn before = flushed_lsn();
+  // One batch of the group-commit pipeline: take mu_, write + sync the whole
+  // tail. Nested inside it (when tracing) sits the wal.fsync span.
+  ARIES_TRACE_SPAN(span, "gc.batch", TraceCat::kWal, before);
   Status s;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -210,6 +223,9 @@ Status LogManager::GroupCommitFlush(Lsn lsn) {
   if (metrics_ != nullptr) {
     metrics_->group_commit_txns.fetch_add(1, std::memory_order_relaxed);
   }
+  // Covers this committer's whole enqueue -> (batch, fsync) -> wakeup wait.
+  ARIES_TRACE_SPAN(span, "gc.wait", TraceCat::kWal, lsn);
+  ARIES_TRACE_INSTANT("gc.enqueue", TraceCat::kWal, lsn);
   std::unique_lock<std::mutex> lk(gc_mu_);
   // One forced re-flush per waiter: if the attempt that covered us failed
   // (e.g. a transient error that has since healed), roll the attempt
@@ -269,6 +285,7 @@ Status LogManager::GroupCommitFlush(Lsn lsn) {
     gc_status_ = s;
     gc_attempted_ = std::max(gc_attempted_, end);
     gc_cv_.notify_all();
+    ARIES_TRACE_INSTANT("gc.wakeup", TraceCat::kWal, end);
     if (!s.ok() && end >= lsn) return s;
   }
 }
@@ -298,6 +315,7 @@ void LogManager::FlusherLoop() {
     gc_status_ = s;
     gc_attempted_ = std::max(gc_attempted_, end);
     gc_cv_.notify_all();
+    ARIES_TRACE_INSTANT("gc.wakeup", TraceCat::kWal, end);
   }
 }
 

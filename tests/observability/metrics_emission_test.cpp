@@ -1,0 +1,103 @@
+// Guards the "exhaustive by construction" property of Metrics::ToString()
+// and ToJson(): every counter and histogram must reach both surfaces, and
+// the struct layout must match the X-macro declarations — a member added
+// outside ARIESIM_METRICS_COUNTERS / ARIESIM_METRICS_HISTOGRAMS changes
+// sizeof/offsetof and fails here instead of silently missing from the stats.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace ariesim {
+namespace {
+
+// Layout check: the counters are kCounterCount atomics laid out first, the
+// histograms directly after. Any member declared outside the X-macros (or a
+// histogram squeezed between counters) breaks one of these equalities.
+static_assert(offsetof(Metrics, commit_latency) ==
+                  Metrics::kCounterCount * sizeof(std::atomic<uint64_t>),
+              "a Metrics counter was added outside ARIESIM_METRICS_COUNTERS");
+static_assert(sizeof(Metrics) ==
+                  Metrics::kCounterCount * sizeof(std::atomic<uint64_t>) +
+                      Metrics::kHistogramCount * sizeof(LatencyHistogram),
+              "a Metrics member was added outside the X-macros");
+
+TEST(MetricsEmission, EveryCounterInToString) {
+  Metrics m;
+  // Distinct values so we can also verify each name maps to its own member.
+  const char* const* names = Metrics::CounterNames();
+  uint64_t next = 0;
+#define ARIESIM_TEST_SET(name) m.name.store(++next, std::memory_order_relaxed);
+  ARIESIM_METRICS_COUNTERS(ARIESIM_TEST_SET)
+#undef ARIESIM_TEST_SET
+  std::string s = m.ToString();
+  for (size_t i = 0; i < Metrics::kCounterCount; ++i) {
+    std::string token =
+        std::string(names[i]) + "=" + std::to_string(i + 1);
+    EXPECT_NE(s.find(token), std::string::npos)
+        << "counter '" << names[i] << "' missing (or wrong) in ToString(): "
+        << s;
+  }
+}
+
+TEST(MetricsEmission, EveryCounterAndHistogramInToJson) {
+  Metrics m;
+  m.commit_latency.Record(1'000'000);
+  std::string j = m.ToJson();
+  const char* const* cnames = Metrics::CounterNames();
+  for (size_t i = 0; i < Metrics::kCounterCount; ++i) {
+    std::string key = "\"" + std::string(cnames[i]) + "\":";
+    EXPECT_NE(j.find(key), std::string::npos)
+        << "counter '" << cnames[i] << "' missing in ToJson(): " << j;
+  }
+  const char* const* hnames = Metrics::HistogramNames();
+  for (size_t i = 0; i < Metrics::kHistogramCount; ++i) {
+    std::string key = "\"" + std::string(hnames[i]) + "\":{\"count\":";
+    EXPECT_NE(j.find(key), std::string::npos)
+        << "histogram '" << hnames[i] << "' missing in ToJson(): " << j;
+  }
+  // Histogram objects carry the full percentile key set even when empty.
+  for (const char* key : {"\"p50_us\":", "\"p95_us\":", "\"p99_us\":",
+                          "\"max_us\":", "\"mean_us\":"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing: " << j;
+  }
+  EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(MetricsEmission, PopulatedHistogramInToString) {
+  Metrics m;
+  std::string before = m.ToString();
+  // Empty histograms stay out of the one-liner (it is for humans)...
+  EXPECT_EQ(before.find("commit_latency_p50_us"), std::string::npos);
+  // ...but show up once they have data.
+  for (int i = 0; i < 10; ++i) m.commit_latency.Record(2'000'000);
+  std::string after = m.ToString();
+  EXPECT_NE(after.find("commit_latency_p50_us="), std::string::npos);
+  EXPECT_NE(after.find("commit_latency_p99_us="), std::string::npos);
+}
+
+TEST(MetricsEmission, ResetCoversHistograms) {
+  Metrics m;
+  m.pages_read.fetch_add(5);
+  m.repair_latency.Record(123'456);
+  m.Reset();
+  EXPECT_EQ(m.pages_read.load(), 0u);
+  EXPECT_EQ(m.repair_latency.count(), 0u);
+}
+
+TEST(MetricsEmission, NameTablesMatchCounts) {
+  // The tables are generated from the same X-macros; spot-check ordering
+  // against known first/last members.
+  EXPECT_STREQ(Metrics::CounterNames()[0], "lock_requests");
+  EXPECT_STREQ(Metrics::CounterNames()[Metrics::kCounterCount - 1],
+               "health_trips");
+  EXPECT_STREQ(Metrics::HistogramNames()[0], "commit_latency");
+  EXPECT_STREQ(Metrics::HistogramNames()[Metrics::kHistogramCount - 1],
+               "repair_latency");
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -1,0 +1,202 @@
+// Tracer: disabled sites record nothing, spans land in the Chrome JSON dump,
+// ring overflow drops (never crashes) and counts the drops, and
+// enable/disable toggling races cleanly with concurrent recorders (the TSan
+// leg of tools/run_sanitized_tests.sh runs this suite).
+//
+// The tracer is a process-wide singleton shared by every test in this
+// binary, so each test starts from Clear() and leaves tracing disabled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+#if ARIESIM_TRACE_COMPILED
+
+constexpr size_t kDefaultRingCapacity = 8192;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().Disable();
+    Tracer::Instance().SetRingCapacity(kDefaultRingCapacity);
+    Tracer::Instance().Clear();
+  }
+  void TearDown() override {
+    Tracer::Instance().Disable();
+    Tracer::Instance().SetRingCapacity(kDefaultRingCapacity);
+    Tracer::Instance().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  TraceCounts before = Tracer::Instance().Counts();
+  for (int i = 0; i < 100; ++i) {
+    ARIES_TRACE_SPAN(span, "test.noop", TraceCat::kTxn, i);
+    ARIES_TRACE_INSTANT("test.noop_i", TraceCat::kTxn, i);
+  }
+  TraceCounts after = Tracer::Instance().Counts();
+  EXPECT_EQ(after.recorded, before.recorded);
+  EXPECT_EQ(after.dropped, before.dropped);
+}
+
+TEST_F(TraceTest, SpansAppearInDump) {
+  Tracer::Instance().Enable();
+  {
+    ARIES_TRACE_SPAN(outer, "test.outer", TraceCat::kBtree, 7);
+    ARIES_TRACE_SPAN(inner, "test.inner", TraceCat::kWal, 8);
+  }
+  ARIES_TRACE_INSTANT("test.marker", TraceCat::kRecovery, 9);
+  Tracer::Instance().Disable();
+
+  std::string json = Tracer::Instance().DumpJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.marker\""), std::string::npos);
+  // Spans are complete events, instants are instant events.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Categories come through for Perfetto filtering.
+  EXPECT_NE(json.find("\"cat\":\"btree\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"arg\":7}"), std::string::npos);
+
+  TraceCounts c = Tracer::Instance().Counts();
+  EXPECT_EQ(c.recorded, 3u);
+  EXPECT_EQ(c.dropped, 0u);
+}
+
+TEST_F(TraceTest, OverflowDropsOldestAndCounts) {
+  constexpr size_t kSmall = 16;
+  constexpr int kEvents = 50;
+  Tracer::Instance().SetRingCapacity(kSmall);
+  Tracer::Instance().Enable();
+  TraceCounts before = Tracer::Instance().Counts();
+  // A fresh thread acquires a ring at the small capacity (recycled rings are
+  // re-sized on reuse).
+  std::thread t([] {
+    for (int i = 0; i < kEvents; ++i) {
+      ARIES_TRACE_INSTANT("test.flood", TraceCat::kBuffer, i);
+    }
+  });
+  t.join();
+  Tracer::Instance().Disable();
+
+  TraceCounts after = Tracer::Instance().Counts();
+  EXPECT_EQ(after.recorded - before.recorded, static_cast<uint64_t>(kEvents));
+  EXPECT_EQ(after.dropped - before.dropped,
+            static_cast<uint64_t>(kEvents - kSmall));
+
+  // The dump holds exactly the newest kSmall flood events — and reports the
+  // drops so a reader knows the window is clipped.
+  std::string json = Tracer::Instance().DumpJson();
+  size_t hits = 0;
+  for (size_t pos = json.find("test.flood"); pos != std::string::npos;
+       pos = json.find("test.flood", pos + 1)) {
+    ++hits;
+  }
+  EXPECT_EQ(hits, kSmall);
+  // Oldest surviving flood event is #(kEvents - kSmall).
+  std::string oldest =
+      "\"args\":{\"arg\":" + std::to_string(kEvents - kSmall) + "}";
+  EXPECT_NE(json.find(oldest), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":\"" +
+                      std::to_string(kEvents - kSmall) + "\""),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, EnableDisableRacesWithRecorders) {
+  // Hammer the enable flag while worker threads record spans; TSan must stay
+  // quiet and nothing may crash. Event counts are unasserted by design —
+  // whether a span lands depends on where the toggle caught it.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stop] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ARIES_TRACE_SPAN(span, "test.race", TraceCat::kLock, i++);
+        ARIES_TRACE_INSTANT("test.race_i", TraceCat::kLock, i);
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 2 == 0) {
+      Tracer::Instance().Enable();
+    } else {
+      Tracer::Instance().Disable();
+    }
+    if (i % 500 == 0) (void)Tracer::Instance().DumpJson();
+    if (i % 700 == 0) Tracer::Instance().Clear();
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  Tracer::Instance().Disable();
+  (void)Tracer::Instance().DumpJson();  // still serializable afterwards
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  Tracer::Instance().Enable();
+  ARIES_TRACE_INSTANT("test.cleared", TraceCat::kTxn, 1);
+  Tracer::Instance().Disable();
+  ASSERT_GE(Tracer::Instance().Counts().recorded, 1u);
+  Tracer::Instance().Clear();
+  TraceCounts c = Tracer::Instance().Counts();
+  EXPECT_EQ(c.recorded, 0u);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(Tracer::Instance().DumpJson().find("test.cleared"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, DumpWritesLoadableFile) {
+  ariesim::testing::TempDir dir("trace_dump");
+  Tracer::Instance().Enable();
+  { ARIES_TRACE_SPAN(span, "test.file_span", TraceCat::kTxn, 42); }
+  Tracer::Instance().Disable();
+  std::string path = dir.path() + "/trace.json";
+  ASSERT_OK(Tracer::Instance().Dump(path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  std::string json = ss.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.file_span"), std::string::npos);
+  EXPECT_EQ(json, Tracer::Instance().DumpJson());
+}
+
+TEST_F(TraceTest, DumpToUnwritablePathFails) {
+  Status s = Tracer::Instance().Dump("/nonexistent_dir_xyz/trace.json");
+  EXPECT_FALSE(s.ok());
+}
+
+#else  // ARIESIM_TRACE_COMPILED == 0
+
+TEST(TraceStub, DumpReturnsNotSupported) {
+  Status s = Tracer::Instance().Dump("/tmp/never_written.json");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("compiled out"), std::string::npos);
+  EXPECT_EQ(Tracer::Instance().DumpJson(), "{\"traceEvents\":[]}\n");
+  EXPECT_FALSE(Tracer::Instance().enabled());
+  // Macros compile to nothing; this must build and do nothing.
+  ARIES_TRACE_SPAN(span, "stub", TraceCat::kTxn, 0);
+  ARIES_TRACE_INSTANT("stub", TraceCat::kTxn, 0);
+  EXPECT_EQ(Tracer::Instance().Counts().recorded, 0u);
+}
+
+#endif  // ARIESIM_TRACE_COMPILED
+
+}  // namespace
+}  // namespace ariesim

@@ -16,6 +16,8 @@
 //   delete <table> <index> <key>
 //   begin | commit | rollback | savepoint | rollback_to
 //   checkpoint | crash | validate <index> | stats | tables | help | quit
+//   .stats                       structured engine snapshot (JSON)
+//   .trace on|off|dump [path]    event tracer control (see docs/OBSERVABILITY.md)
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -86,7 +88,11 @@ void Shell::Execute(const std::vector<std::string>& tok) {
         "scan <table> <index> <start> <stop>\n"
         "delete <table> <index> <key>\n"
         "begin | commit | rollback | savepoint | rollback_to\n"
-        "checkpoint | crash | validate <index> | stats | tables | quit\n");
+        "checkpoint | crash | validate <index> | stats | tables | quit\n"
+        ".stats                      engine snapshot as JSON\n"
+        ".trace on|off               enable/disable event tracing\n"
+        ".trace dump [path]          write Chrome trace JSON (default "
+        "trace.json)\n");
     return;
   }
   if (cmd == "tables") {
@@ -249,6 +255,31 @@ void Shell::Execute(const std::vector<std::string>& tok) {
   }
   if (cmd == "stats") {
     std::printf("%s\n", db->metrics().ToString().c_str());
+    return;
+  }
+  if (cmd == ".stats") {
+    std::printf("%s\n", db->Stats().ToJson().c_str());
+    return;
+  }
+  if (cmd == ".trace" && tok.size() >= 2) {
+    const std::string sub = Lower(tok[1]);
+    if (sub == "on" || sub == "off") {
+      db->SetTracing(sub == "on");
+      std::printf("tracing %s\n", db->tracing() ? "on" : "off");
+    } else if (sub == "dump") {
+      const std::string path = tok.size() >= 3 ? tok[2] : "trace.json";
+      Status s = db->DumpTrace(path);
+      if (s.ok()) {
+        TraceCounts c = Tracer::Instance().Counts();
+        std::printf("wrote %s (%lu events recorded, %lu dropped)\n",
+                    path.c_str(), (unsigned long)c.recorded,
+                    (unsigned long)c.dropped);
+      } else {
+        std::printf("%s\n", s.ToString().c_str());
+      }
+    } else {
+      std::printf("usage: .trace on|off|dump [path]\n");
+    }
     return;
   }
   std::printf("unknown command (try 'help')\n");

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build check for the ARIESIM_TRACE=OFF configuration: the tracer must
+# compile out completely (ARIES_TRACE_* macros expand to nothing, the Tracer
+# stub keeps the API), the engine and every test must still build, and the
+# observability suite must pass — its trace tests flip to asserting the stub
+# behavior (Dump returns NotSupported).
+#
+#   tools/check_trace_off.sh            # configure + build + run label
+#
+# Uses a separate build tree (build-traceoff) so the default build's cache
+# is untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+build_dir="build-traceoff"
+
+echo "=== ARIESIM_TRACE=OFF: configuring ${build_dir} ==="
+cmake -B "${build_dir}" -S . -DARIESIM_TRACE=OFF \
+      -DCMAKE_BUILD_TYPE=Release > /dev/null
+
+echo "=== ARIESIM_TRACE=OFF: building ==="
+cmake --build "${build_dir}" -j "${jobs}"
+
+# The whole point of the option: no tracer symbols in the library.
+if nm "${build_dir}/src/libariesim.a" 2>/dev/null | grep -q "trace_internal"; then
+  echo "FAIL: trace_internal symbols present despite ARIESIM_TRACE=OFF" >&2
+  exit 1
+fi
+
+echo "=== ARIESIM_TRACE=OFF: running observability tests ==="
+ctest --test-dir "${build_dir}" -L observability --output-on-failure -j "${jobs}"
+
+echo "=== ARIESIM_TRACE=OFF build check passed ==="

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Build and run the group-commit throughput sweep, emitting BENCH_commit.json
 # at the repo root. See docs/ARCHITECTURE.md "Group commit" and ISSUE/PR 2.
+# Each row also carries commit-latency and fsync-duration percentiles
+# (commit_p50/p95/p99_us, fsync_p50/p95/p99_us) from the engine's built-in
+# histograms — see docs/OBSERVABILITY.md.
 #
 # Usage: tools/run_commit_bench.sh [output.json]
 set -euo pipefail

@@ -11,6 +11,10 @@
 # Extra arguments after the sanitizer name are forwarded to ctest, e.g.
 #   tools/run_sanitized_tests.sh thread -R fault_injection
 #   tools/run_sanitized_tests.sh thread -L stress   # stress suites only
+#   tools/run_sanitized_tests.sh thread -L observability  # tracer/histograms
+# The observability label covers the enable/disable-vs-recorder races in the
+# tracer and concurrent histogram recording — the TSan leg is what certifies
+# them data-race-free (see docs/OBSERVABILITY.md).
 # Stress-test seed lists can be narrowed for quicker sanitized runs:
 #   ARIESIM_STRESS_SEEDS=1-4 tools/run_sanitized_tests.sh thread
 set -euo pipefail
