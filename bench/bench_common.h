@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "db/database.h"
 #include "util/random.h"
@@ -44,6 +45,37 @@ inline const char* ProtocolName(LockingProtocolKind k) {
     default:
       return "none";
   }
+}
+
+/// Attach the run's concurrency-forensics summary to the benchmark row:
+/// numeric counters (deadlocks, summed cycle lengths, sketch drops) plus a
+/// label carrying the top hot locks and the cycle-length distribution.
+/// Google Benchmark counters are numeric-only, so the tables ride in the
+/// row's "label" field of the JSON output.
+inline void AttachForensics(benchmark::State& state, Database* db) {
+  Metrics& m = db->metrics();
+  state.counters["deadlocks"] =
+      benchmark::Counter(static_cast<double>(m.deadlocks.load()));
+  state.counters["deadlock_cycle_txns"] =
+      benchmark::Counter(static_cast<double>(m.deadlock_cycle_txns.load()));
+  state.counters["lock_contention_dropped"] = benchmark::Counter(
+      static_cast<double>(db->locks()->ContentionDropped()));
+  std::string label;
+  for (const auto& e : db->locks()->TopContention(3)) {
+    label += (label.empty() ? "hot " : " ") + e.key.ToString() + "=" +
+             std::to_string(e.waits) + "x/" + std::to_string(e.wait_ns / 1000) +
+             "us";
+  }
+  std::vector<uint64_t> lens = db->locks()->CycleLengthCounts();
+  std::string cycles;
+  for (size_t i = 2; i < lens.size(); ++i) {
+    if (lens[i] == 0) continue;
+    cycles += (cycles.empty() ? "" : ",") + std::to_string(i) +
+              (i == lens.size() - 1 ? "+" : "") + "=" + std::to_string(lens[i]);
+  }
+  if (label.empty()) label = "hot none";  // row always carries the table
+  if (!cycles.empty()) label += " cycles " + cycles;
+  state.SetLabel(label);
 }
 
 inline Rid BenchRid(uint64_t i) {

@@ -77,6 +77,7 @@ void RunOp(benchmark::State& state, LockingProtocolKind proto,
       benchmark::Counter(static_cast<double>(locks) / static_cast<double>(ops));
   state.counters["lock_calls_per_op"] = benchmark::Counter(
       static_cast<double>(lock_calls) / static_cast<double>(ops));
+  benchutil::AttachForensics(state, env.db.get());
 }
 
 void BM_Insert_DataOnly(benchmark::State& s) {
@@ -139,6 +140,7 @@ void RowInsert(benchmark::State& state, LockingProtocolKind proto) {
   }
   state.counters["locks_per_row_insert"] =
       benchmark::Counter(static_cast<double>(locks) / static_cast<double>(ops));
+  benchutil::AttachForensics(state, db.get());
 }
 void BM_RowInsert_DataOnly(benchmark::State& s) {
   RowInsert(s, LockingProtocolKind::kDataOnly);

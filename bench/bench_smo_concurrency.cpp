@@ -102,6 +102,11 @@ void RunSmoConcurrency(benchmark::State& state, bool blocking) {
         static_cast<double>(db->metrics().smo_splits.load()));
     state.counters["smo_waits"] = benchmark::Counter(
         static_cast<double>(db->metrics().smo_waits.load()));
+    state.counters["tree_latch_hold_p99_us"] = benchmark::Counter(
+        static_cast<double>(
+            db->metrics().tree_latch_hold_latency.Snapshot().p99_ns) /
+        1000.0);
+    benchutil::AttachForensics(state, db.get());
   }
 }
 

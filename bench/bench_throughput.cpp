@@ -95,6 +95,7 @@ void RunMix(benchmark::State& state, LockingProtocolKind proto) {
         benchmark::Counter(static_cast<double>(deadlocks.load()) / secs);
     state.counters["lock_waits"] = benchmark::Counter(
         static_cast<double>(db->metrics().lock_waits.load()));
+    benchutil::AttachForensics(state, db.get());
   }
 }
 
@@ -192,6 +193,7 @@ void RunHotValues(benchmark::State& state, LockingProtocolKind proto) {
         static_cast<double>(db->metrics().lock_waits.load()));
     state.counters["deadlocks_per_sec"] =
         benchmark::Counter(static_cast<double>(deadlocks.load()) / secs);
+    benchutil::AttachForensics(state, db.get());
   }
 }
 

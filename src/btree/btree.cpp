@@ -1,6 +1,8 @@
 #include "btree/btree.h"
 
+#include <chrono>
 #include <optional>
+#include <thread>
 
 #include "btree/search_internal.h"
 #include "common/clock.h"
@@ -10,6 +12,37 @@ namespace ariesim {
 
 namespace {
 constexpr int kMaxRestarts = 10000;
+
+// Attempt count past which an optimistic restart loop starts backing off.
+constexpr int kBackoffAfterAttempts = 8;
+
+/// Bounded randomized backoff between traversal restarts.
+///
+/// Repeated conditional-lock denials can livelock: N transactions inserting
+/// around the same hot key each fail the conditional next-key lock because
+/// the *other* transactions' unconditional instant-duration waiters sit in
+/// the queue, then enqueue their own unconditional request (keeping the
+/// queue non-empty for everyone else), get granted, restart, and fail the
+/// conditional probe again. The queue never drains long enough for any
+/// thread's conditional request to succeed (see docs/OBSERVABILITY.md,
+/// "Case study"). Desynchronizing the restarts with a short randomized
+/// sleep breaks the convoy. Never called while holding the tree latch.
+void RestartBackoff(int attempt, Metrics* metrics) {
+  if (attempt < kBackoffAfterAttempts) return;
+  static thread_local uint64_t rng =
+      0x9e3779b97f4a7c15ull ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  int shift = attempt - kBackoffAfterAttempts;
+  if (shift > 7) shift = 7;
+  uint64_t cap_us = 4ull << shift;  // 4us doubling to a 512us ceiling
+  if (metrics != nullptr) {
+    metrics->btree_backoffs.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(1 + rng % cap_us));
+}
 }  // namespace
 
 Result<PageId> BTree::CreateRoot(EngineContext* ctx, Transaction* txn,
@@ -73,6 +106,17 @@ void BTree::LockTreeExclusiveCounted() {
     ctx_->metrics->tree_latch_acquisitions.fetch_add(1,
                                                      std::memory_order_relaxed);
   }
+  tree_x_acquired_ns_.store(MonotonicNowNs(), std::memory_order_relaxed);
+}
+
+void BTree::UnlockTreeExclusiveCounted() {
+  if (ctx_->metrics != nullptr) {
+    uint64_t start = tree_x_acquired_ns_.load(std::memory_order_relaxed);
+    if (start != 0) {
+      ctx_->metrics->tree_latch_hold_latency.Record(MonotonicNowNs() - start);
+    }
+  }
+  tree_latch_.UnlockExclusive();
 }
 
 Status BTree::TraverseToLeaf(std::string_view value, Rid rid, bool for_modify,
@@ -228,7 +272,7 @@ Status BTree::EnsureNoSmo(PageGuard& leaf, bool clear_delete_bit,
     if (!tree_latch_.TryLockShared()) {
       leaf.Release();
       WaitForSmo();
-      return Status::Retry();
+      return Status::Retry("ensure-no-smo");
     }
     tree_latch_.UnlockShared();
     if (ctx_->metrics != nullptr) {
@@ -318,6 +362,7 @@ Status BTree::Fetch(Transaction* txn, std::string_view value, FetchCond cond,
   Rid srid = (cond == FetchCond::kGt) ? bt::kMaxRid : Rid{0, 0};
   bool exclusive = (cond == FetchCond::kGt);
   for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    if (!blocker.has_value()) RestartBackoff(attempt, ctx_->metrics);
     PageGuard leaf;
     ARIES_RETURN_NOT_OK(TraverseToLeaf(value, srid, /*for_modify=*/false, &leaf));
     NextSearch found;
@@ -391,6 +436,7 @@ Status BTree::Insert(Transaction* txn, std::string_view value, Rid rid) {
     baseline_x = true;
   }
   for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    if (!baseline_x) RestartBackoff(attempt, ctx_->metrics);
     PageGuard leaf;
     ARIES_RETURN_NOT_OK(
         TraverseToLeaf(value, rid, /*for_modify=*/true, &leaf, baseline_x));
@@ -413,7 +459,7 @@ Status BTree::InsertAtLeaf(Transaction* txn, PageGuard leaf,
   auto drop_tree_latch = [&]() {
     if (tree_latch_held && tree_latch_released != nullptr &&
         !*tree_latch_released) {
-      tree_latch_.UnlockExclusive();
+      UnlockTreeExclusiveCounted();
       *tree_latch_released = true;
     }
   };
@@ -441,7 +487,7 @@ Status BTree::InsertAtLeaf(Transaction* txn, PageGuard leaf,
       } else {
         WaitForSmo();
       }
-      return Status::Retry();
+      return Status::Retry("uniq-search");
     }
     ARIES_RETURN_NOT_OK(s);
     if (!eq.eof && eq.value == value) {
@@ -458,7 +504,7 @@ Status BTree::InsertAtLeaf(Transaction* txn, PageGuard leaf,
       drop_tree_latch();
       ARIES_RETURN_NOT_OK(
           proto_->LockUniqueCheck(txn, existing, /*conditional=*/false));
-      return Status::Retry();  // revalidate from the top
+      return Status::Retry("uniq-lock");  // revalidate from the top
     }
   }
 
@@ -472,7 +518,7 @@ Status BTree::InsertAtLeaf(Transaction* txn, PageGuard leaf,
     } else {
       WaitForSmo();
     }
-    return Status::Retry();
+    return Status::Retry("next-search");
   }
   ARIES_RETURN_NOT_OK(s);
   IndexKeyRef next_key =
@@ -484,7 +530,7 @@ Status BTree::InsertAtLeaf(Transaction* txn, PageGuard leaf,
     drop_tree_latch();
     ARIES_RETURN_NOT_OK(
         proto_->LockInsertNext(txn, next_key, value, /*conditional=*/false));
-    return Status::Retry();
+    return Status::Retry("next-lock");
   }
   ARIES_RETURN_NOT_OK(ls);
   next.chain_guard.Release();  // next-page latch released after the lock
@@ -502,7 +548,7 @@ Status BTree::InsertAtLeaf(Transaction* txn, PageGuard leaf,
     drop_tree_latch();
     ARIES_RETURN_NOT_OK(
         proto_->LockInsertCurrent(txn, value, rid, /*conditional=*/false));
-    return Status::Retry();
+    return Status::Retry("cur-lock");
   }
   ARIES_RETURN_NOT_OK(ls);
 
@@ -534,6 +580,7 @@ Status BTree::Delete(Transaction* txn, std::string_view value, Rid rid) {
   bool have_tree_x = false;
   Status result;
   for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    if (!have_tree_x && !baseline_x) RestartBackoff(attempt, ctx_->metrics);
     PageGuard leaf;
     Status ts = TraverseToLeaf(value, rid, /*for_modify=*/true, &leaf,
                                have_tree_x || baseline_x);
@@ -560,7 +607,7 @@ Status BTree::Delete(Transaction* txn, std::string_view value, Rid rid) {
     result = s;
     break;
   }
-  if (have_tree_x) tree_latch_.UnlockExclusive();
+  if (have_tree_x) UnlockTreeExclusiveCounted();
   return result;
 }
 
@@ -573,7 +620,7 @@ Status BTree::DeleteAtLeaf(Transaction* txn, PageGuard leaf,
   auto drop_tree_latch = [&]() {
     if (tree_latch_x_held && tree_latch_released != nullptr &&
         !*tree_latch_released) {
-      tree_latch_.UnlockExclusive();
+      UnlockTreeExclusiveCounted();
       *tree_latch_released = true;
     }
   };
@@ -599,7 +646,7 @@ Status BTree::DeleteAtLeaf(Transaction* txn, PageGuard leaf,
     } else {
       WaitForSmo();
     }
-    return Status::Retry();
+    return Status::Retry("next-search");
   }
   ARIES_RETURN_NOT_OK(s);
   IndexKeyRef next_key =
@@ -611,7 +658,7 @@ Status BTree::DeleteAtLeaf(Transaction* txn, PageGuard leaf,
     drop_tree_latch();
     ARIES_RETURN_NOT_OK(
         proto_->LockDeleteNext(txn, next_key, value, /*conditional=*/false));
-    return Status::Retry();
+    return Status::Retry("next-lock");
   }
   ARIES_RETURN_NOT_OK(ls);
   next.chain_guard.Release();
@@ -627,7 +674,7 @@ Status BTree::DeleteAtLeaf(Transaction* txn, PageGuard leaf,
     }
     leaf.Release();
     *needs_tree_x = true;
-    return Status::Retry();
+    return Status::Retry("need-tree-x");
   }
 
   // Boundary-key delete: establish a POSC and hold it until the delete is
@@ -641,7 +688,7 @@ Status BTree::DeleteAtLeaf(Transaction* txn, PageGuard leaf,
       }
       tree_latch_.LockShared();
       tree_latch_.UnlockShared();
-      return Status::Retry();
+      return Status::Retry("boundary-posc");
     }
     tree_s_held = true;
     if (ctx_->metrics != nullptr) {
@@ -658,7 +705,7 @@ Status BTree::DeleteAtLeaf(Transaction* txn, PageGuard leaf,
     drop_tree_latch();
     ARIES_RETURN_NOT_OK(
         proto_->LockDeleteCurrent(txn, value, rid, /*conditional=*/false));
-    return Status::Retry();
+    return Status::Retry("cur-lock");
   }
   if (!ls.ok()) {
     if (tree_s_held) tree_latch_.UnlockShared();

@@ -154,8 +154,12 @@ class BTree {
   /// instant-S the tree latch.
   void WaitForSmo();
   /// Blocking X acquisition of the tree latch, counting the acquisition and
-  /// (when contended) a tree_latch_wait.
+  /// (when contended) a tree_latch_wait. Stamps the hold start for
+  /// UnlockTreeExclusiveCounted's hold-time histogram.
   void LockTreeExclusiveCounted();
+  /// Release an X acquisition made through LockTreeExclusiveCounted,
+  /// recording the hold time into tree_latch_hold_latency.
+  void UnlockTreeExclusiveCounted();
 
   /// Path of page ids root→leaf; only valid while the tree latch is held X.
   Status TraversePath(std::string_view value, Rid rid,
@@ -238,6 +242,10 @@ class BTree {
   bool unique_;
   std::unique_ptr<LockingProtocol> proto_;
   RwLatch tree_latch_;
+  /// Hold-start stamp for the tree latch's X owner (one X holder at a time;
+  /// written by the acquirer in LockTreeExclusiveCounted, read by the same
+  /// thread in UnlockTreeExclusiveCounted).
+  std::atomic<uint64_t> tree_x_acquired_ns_{0};
   std::atomic<int> test_fail_after_splits_{-1};
   std::atomic<bool> test_fail_before_splice_{false};
 };

@@ -67,8 +67,11 @@ Status BTree::SplitSmoAndInsert(Transaction* txn, std::string_view value,
       break;
     }
     leaf.Release();
-    // Span covers the whole nested top action incl. the SM_Bit reset.
+    // Span and histogram cover the whole nested top action incl. the
+    // SM_Bit reset.
     ARIES_TRACE_SPAN(smo_span, "bt.smo_split", TraceCat::kBtree, txn->id());
+    ScopedLatency smo_timer(
+        ctx_->metrics != nullptr ? &ctx_->metrics->smo_latency : nullptr);
     txn->BeginNta();
     std::vector<PageId> touched;
     Status s = MakeRoomForKey(txn, value, rid, &touched);
@@ -84,7 +87,7 @@ Status BTree::SplitSmoAndInsert(Transaction* txn, std::string_view value,
     }
     ClearSmBits(touched);  // Figure 8 reset, still under the tree latch
   }
-  if (!baseline && !latch_released) tree_latch_.UnlockExclusive();
+  if (!baseline && !latch_released) UnlockTreeExclusiveCounted();
   return result;
 }
 
@@ -462,6 +465,8 @@ Status BTree::PageDeleteSmo(Transaction* txn, PageGuard leaf,
   leaf.Release();
 
   ARIES_TRACE_SPAN(smo_span, "bt.smo_pagedel", TraceCat::kBtree, txn->id());
+  ScopedLatency smo_timer(
+      ctx_->metrics != nullptr ? &ctx_->metrics->smo_latency : nullptr);
   txn->BeginNta();
   std::vector<PageId> touched;
   auto body = [&]() -> Status {

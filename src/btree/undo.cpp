@@ -252,7 +252,7 @@ Status BTree::LogicalUndoInsert(Transaction* txn, const LogRecord& rec,
       }
       return Status::OK();
     }();
-    tree_latch_.UnlockExclusive();
+    UnlockTreeExclusiveCounted();
     return s;
   }
   return Status::Corruption("logical undo (insert) did not settle");
@@ -356,7 +356,7 @@ Status BTree::LogicalUndoDelete(Transaction* txn, const LogRecord& rec,
       xleaf.MarkDirty(lsn);
       return Status::OK();
     }();
-    tree_latch_.UnlockExclusive();
+    UnlockTreeExclusiveCounted();
     return s;
   }
   return Status::Corruption("logical undo (delete) did not settle");

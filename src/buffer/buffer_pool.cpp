@@ -204,9 +204,11 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, LatchMode mode) {
     const uint64_t wait_start_ns = MonotonicNowNs();
     ARIES_TRACE_SPAN(span, "bp.latch_wait", TraceCat::kBuffer, id);
     f->latch.Lock(mode);
+    const uint64_t waited_ns = MonotonicNowNs() - wait_start_ns;
     if (metrics_ != nullptr) {
-      metrics_->latch_wait_latency.Record(MonotonicNowNs() - wait_start_ns);
+      metrics_->latch_wait_latency.Record(waited_ns);
     }
+    latch_contention_.RecordWait(id, waited_ns);
   }
   if (metrics_ != nullptr) {
     metrics_->page_latch_acquisitions.fetch_add(1, std::memory_order_relaxed);

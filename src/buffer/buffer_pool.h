@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/contention.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -126,6 +127,16 @@ class BufferPool {
   /// before rebuilding the page from the log.
   Status DiscardPage(PageId id);
 
+  /// Per-page latch-contention heat map (PR 5): which pages waiters pile
+  /// up on, by total wait time. Lock-free on the record path.
+  using PageContention = ContentionSketch<PageId, std::hash<PageId>, 256>;
+  std::vector<PageContention::Entry> TopLatchContention(size_t n) const {
+    return latch_contention_.TopN(n);
+  }
+  uint64_t LatchContentionDropped() const {
+    return latch_contention_.dropped();
+  }
+
   /// Install a fault-injection hook consulted before each dirty write-back.
   /// Pass nullptr to detach. The injector must outlive this BufferPool.
   void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
@@ -182,6 +193,7 @@ class BufferPool {
   std::list<Frame*> lru_;  // front = coldest unpinned frame
   std::unordered_map<Frame*, std::list<Frame*>::iterator> lru_pos_;
   std::unordered_set<PageId> io_in_progress_;
+  PageContention latch_contention_;
   /// Pages whose evicted dirty frame is still being written back, keyed to
   /// the frame's rec_lsn. Readers must not reload them from disk until the
   /// write completes, and DirtyPageTable() must still report them: the

@@ -103,6 +103,13 @@ struct Options {
   /// 0 disables the trip.
   uint32_t log_flush_failure_threshold = 8;
 
+  /// Blocked-waiter watchdog (docs/OBSERVABILITY.md): when > 0, the first
+  /// lock wait to exceed this many milliseconds dumps the structured lock
+  /// snapshot plus the waits-for DOT graph to stderr (or an injected sink)
+  /// exactly once per contention episode. 0 (default) disables — the wait
+  /// paths then carry no watchdog cost beyond one branch per 5 ms poll.
+  uint32_t lock_watchdog_threshold_ms = 0;
+
   /// Simulated device latency added to every page read/write, in
   /// microseconds (0 = none). The benchmark substrate knob: on a machine
   /// whose files sit in the OS page cache, real I/O latency vanishes and

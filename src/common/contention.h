@@ -1,0 +1,116 @@
+// Fixed-size lock-free contention sketch (PR 5, docs/OBSERVABILITY.md).
+//
+// Answers "which lock names / pages do waiters pile up on?" without adding a
+// mutex or an unbounded map to the wait paths. A fixed power-of-two array of
+// slots is claimed on first touch via CAS; subsequent waits on the same key
+// are two relaxed fetch_adds. Collisions past a short probe window are
+// counted in dropped() instead of evicting — the sketch is a top-N heat map,
+// not an exact table, and under-counting cold keys is the acceptable failure
+// mode. Two distinct keys with equal hashes merge into one slot (same
+// safe-degradation argument as LockName's key hashing).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ariesim {
+
+template <typename Key, typename Hash, size_t kSlots = 256>
+class ContentionSketch {
+  static_assert((kSlots & (kSlots - 1)) == 0, "kSlots must be a power of two");
+
+ public:
+  struct Entry {
+    Key key{};
+    uint64_t waits = 0;
+    uint64_t wait_ns = 0;
+  };
+
+  /// Record one wait of `wait_ns` nanoseconds on `key`. Lock-free; safe from
+  /// any thread.
+  void RecordWait(const Key& key, uint64_t wait_ns) {
+    uint64_t h = Hash{}(key);
+    uint64_t tag = h < 2 ? h + 2 : h;  // 0 = empty, 1 = claim in progress
+    size_t idx = static_cast<size_t>(h) & (kSlots - 1);
+    for (size_t probe = 0; probe < kProbeDepth; ++probe) {
+      Slot& s = slots_[(idx + probe) & (kSlots - 1)];
+      uint64_t cur = s.tag.load(std::memory_order_acquire);
+      if (cur == tag) {
+        s.waits.fetch_add(1, std::memory_order_relaxed);
+        s.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+        return;
+      }
+      if (cur == 0) {
+        uint64_t expected = 0;
+        if (s.tag.compare_exchange_strong(expected, 1,
+                                          std::memory_order_acq_rel)) {
+          s.key = key;  // publish-once before the release store below
+          s.waits.fetch_add(1, std::memory_order_relaxed);
+          s.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+          s.tag.store(tag, std::memory_order_release);
+          return;
+        }
+        // Lost the claim race; re-examine this slot once, then move on.
+        cur = s.tag.load(std::memory_order_acquire);
+        if (cur == tag) {
+          s.waits.fetch_add(1, std::memory_order_relaxed);
+          s.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+          return;
+        }
+      }
+      // Slot claimed by another key (or mid-claim): linear-probe onward.
+    }
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Populated entries sorted by total wait time, heaviest first, at most
+  /// `n`. Concurrent RecordWait calls are fine; counts are a snapshot.
+  std::vector<Entry> TopN(size_t n) const {
+    std::vector<Entry> out;
+    for (const Slot& s : slots_) {
+      uint64_t tag = s.tag.load(std::memory_order_acquire);
+      if (tag < 2) continue;
+      Entry e;
+      e.key = s.key;
+      e.waits = s.waits.load(std::memory_order_relaxed);
+      e.wait_ns = s.wait_ns.load(std::memory_order_relaxed);
+      if (e.waits == 0) continue;  // Reset() raced a claim; skip empties
+      out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.wait_ns > b.wait_ns;
+    });
+    if (out.size() > n) out.resize(n);
+    return out;
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Zero the counts. Claimed slots keep their keys (a concurrent
+  /// RecordWait may land between the two stores — the sketch loses at most
+  /// that one wait, which is benign for a heat map).
+  void Reset() {
+    for (Slot& s : slots_) {
+      s.waits.store(0, std::memory_order_relaxed);
+      s.wait_ns.store(0, std::memory_order_relaxed);
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kProbeDepth = 4;
+  struct Slot {
+    std::atomic<uint64_t> tag{0};
+    Key key{};
+    std::atomic<uint64_t> waits{0};
+    std::atomic<uint64_t> wait_ns{0};
+  };
+  Slot slots_[kSlots];
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace ariesim

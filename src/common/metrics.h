@@ -60,7 +60,11 @@ namespace ariesim {
   X(undo_records)                                                           \
   X(torn_pages_repaired)   /* CRC-failed pages rebuilt at restart */        \
   X(pages_repaired_online) /* pages rebuilt by the no-restart path */       \
-  X(health_trips)          /* kHealthy -> kReadOnly -> kFailed moves */
+  X(health_trips)          /* kHealthy -> kReadOnly -> kFailed moves */     \
+  /* Concurrency forensics (PR 5; docs/OBSERVABILITY.md) */                 \
+  X(deadlock_cycle_txns)   /* sum of cycle lengths over all postmortems */  \
+  X(lock_watchdog_dumps)   /* blocked-waiter watchdog episode dumps */      \
+  X(btree_backoffs)        /* randomized restart-backoff sleeps taken */
 
 // Latency histograms, all recording nanoseconds (reported as microseconds).
 #define ARIESIM_METRICS_HISTOGRAMS(X)                                     \
@@ -69,7 +73,10 @@ namespace ariesim {
   X(latch_wait_latency) /* contended page/tree latch acquisitions */      \
   X(page_miss_latency)  /* BufferPool miss: evict + read + verify */      \
   X(log_flush_latency)  /* one WAL tail write + fsync */                  \
-  X(repair_latency)     /* one online page rebuild from the log */
+  X(repair_latency)     /* one online page rebuild from the log */        \
+  X(deadlock_victim_wait)  /* victim's wait age when the cycle was cut */ \
+  X(tree_latch_hold_latency) /* tree-latch X hold time (SMO serializer) */\
+  X(smo_latency)           /* one complete SMO: split or page delete */
 
 struct Metrics {
 #define ARIESIM_DECLARE_COUNTER(name) std::atomic<uint64_t> name{0};

@@ -57,6 +57,7 @@ Status Database::DoOpen(const std::string& dir) {
     pool->NoteDirtyById(id, lsn);
   });
   locks_ = std::make_unique<LockManager>(&metrics_);
+  locks_->ConfigureWatchdog(options_.lock_watchdog_threshold_ms);
   txns_ = std::make_unique<TransactionManager>(log_.get(), locks_.get(),
                                                &metrics_);
 
@@ -327,6 +328,61 @@ std::string DatabaseStats::ToJson() const {
   out += ",\"recorded\":" + std::to_string(trace.recorded);
   out += ",\"dropped\":" + std::to_string(trace.dropped);
   out += ",\"rings\":" + std::to_string(trace.rings);
+  out += "},\"locks\":";
+  out += locks_json.empty() ? "{}" : locks_json;
+  out += "}";
+  return out;
+}
+
+std::string Database::LockForensicsJson() const {
+  std::string out;
+  out.reserve(2048);
+  out += "{\"snapshot\":" + locks_->Snapshot().ToJson();
+  out += ",\"postmortems\":[";
+  bool first = true;
+  for (const DeadlockPostmortem& pm : locks_->Postmortems()) {
+    if (!first) out += ',';
+    first = false;
+    out += pm.ToJson();
+  }
+  out += "],\"contention\":[";
+  first = true;
+  for (const auto& e : locks_->TopContention(10)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + e.key.ToString() + "\"";
+    out += ",\"waits\":" + std::to_string(e.waits);
+    out += ",\"wait_us\":" + std::to_string(e.wait_ns / 1000) + "}";
+  }
+  out += "],\"contention_dropped\":" +
+         std::to_string(locks_->ContentionDropped());
+  out += ",\"page_contention\":[";
+  first = true;
+  for (const auto& e : pool_->TopLatchContention(10)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"page\":" + std::to_string(e.key);
+    out += ",\"waits\":" + std::to_string(e.waits);
+    out += ",\"wait_us\":" + std::to_string(e.wait_ns / 1000) + "}";
+  }
+  out += "],\"page_contention_dropped\":" +
+         std::to_string(pool_->LatchContentionDropped());
+  out += ",\"cycle_lengths\":{";
+  first = true;
+  std::vector<uint64_t> lens = locks_->CycleLengthCounts();
+  for (size_t i = 0; i < lens.size(); ++i) {
+    if (lens[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + std::to_string(i) +
+           (i == LockManager::kMaxTrackedCycleLen ? "+" : "") +
+           "\":" + std::to_string(lens[i]);
+  }
+  out += "},\"watchdog\":{\"threshold_ms\":" +
+         std::to_string(options_.lock_watchdog_threshold_ms);
+  out += ",\"dumps\":" +
+         std::to_string(
+             metrics_.lock_watchdog_dumps.load(std::memory_order_relaxed));
   out += "}}";
   return out;
 }
@@ -334,6 +390,7 @@ std::string DatabaseStats::ToJson() const {
 DatabaseStats Database::Stats() const {
   DatabaseStats s;
   s.metrics_json = metrics_.ToJson();
+  s.locks_json = LockForensicsJson();
   s.health = health_.state();
   s.health_reason = health_.reason();
   s.restart = restart_stats_;

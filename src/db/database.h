@@ -33,6 +33,10 @@ namespace ariesim {
 /// prints and what benches archive.
 struct DatabaseStats {
   std::string metrics_json;  ///< Metrics::ToJson() — counters + histograms
+  /// Concurrency forensics (PR 5): lock-table snapshot, postmortem ring,
+  /// contention tables, cycle-length distribution, watchdog state. Schema in
+  /// docs/OBSERVABILITY.md.
+  std::string locks_json;
   EngineHealth health = EngineHealth::kHealthy;
   std::string health_reason;
   RecoveryStats restart;  ///< zeroed if this incarnation ran no recovery
@@ -106,6 +110,10 @@ class Database {
   /// Structured snapshot of counters, histograms, health, restart stats and
   /// tracer occupancy.
   DatabaseStats Stats() const;
+  /// The `locks_json` piece of Stats() on its own: lock-table snapshot,
+  /// deadlock postmortems, lock/page contention tables, cycle-length
+  /// distribution, and watchdog state as one JSON object.
+  std::string LockForensicsJson() const;
   /// Turn the process-wide event tracer on/off. Near-zero cost while off;
   /// bounded per-thread ring buffers while on.
   void SetTracing(bool on);

@@ -1,0 +1,189 @@
+#include "lock/lock_forensics.h"
+
+namespace ariesim {
+
+namespace {
+
+void AppendLockNameJson(const LockName& n, std::string* out) {
+  *out += '"';
+  *out += n.ToString();
+  *out += '"';
+}
+
+void AppendRequestJson(const LockRequestInfo& r, std::string* out) {
+  *out += "{\"txn\":" + std::to_string(r.txn);
+  *out += ",\"mode\":\"";
+  *out += LockModeName(r.mode);
+  *out += "\",\"granted\":";
+  *out += r.granted ? "true" : "false";
+  if (r.converting) {
+    *out += ",\"converting_to\":\"";
+    *out += LockModeName(r.conv_target);
+    *out += '"';
+  }
+  if (r.wait_us > 0 || (!r.granted || r.converting)) {
+    *out += ",\"wait_us\":" + std::to_string(r.wait_us);
+  }
+  if (r.granted) {
+    *out += ",\"grant_us\":" + std::to_string(r.grant_us);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string LockTableSnapshot::ToString() const {
+  std::string out;
+  for (const auto& q : queues) {
+    out += q.name.ToString() + ":";
+    for (const auto& r : q.requests) {
+      out += " txn" + std::to_string(r.txn) + "/" + LockModeName(r.mode);
+      if (r.granted) out += "*";
+      if (r.converting) {
+        out += "->" + std::string(LockModeName(r.conv_target)) + "(conv " +
+               std::to_string(r.wait_us) + "us)";
+      } else if (!r.granted) {
+        out += "(wait " + std::to_string(r.wait_us) + "us)";
+      }
+    }
+    out += "\n";
+  }
+  for (const auto& t : txns) {
+    if (!t.blocked) continue;
+    out += "txn" + std::to_string(t.txn) + " blocked " +
+           std::to_string(t.blocked_us) + "us on " + t.blocked_on.ToString() +
+           "/" + LockModeName(t.blocked_mode) + " (holds " +
+           std::to_string(t.held) + ")\n";
+  }
+  for (const auto& e : edges) {
+    out += "txn" + std::to_string(e.waiter) + " -> txn" +
+           std::to_string(e.holder) + " on " + e.name.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string LockTableSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(256 + queues.size() * 128);
+  out += "{\"captured_at_ns\":" + std::to_string(captured_at_ns);
+  out += ",\"queues\":[";
+  bool first = true;
+  for (const auto& q : queues) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendLockNameJson(q.name, &out);
+    out += ",\"requests\":[";
+    bool rf = true;
+    for (const auto& r : q.requests) {
+      if (!rf) out += ',';
+      rf = false;
+      AppendRequestJson(r, &out);
+    }
+    out += "]}";
+  }
+  out += "],\"txns\":[";
+  first = true;
+  for (const auto& t : txns) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"txn\":" + std::to_string(t.txn);
+    out += ",\"held\":" + std::to_string(t.held);
+    out += ",\"blocked\":";
+    out += t.blocked ? "true" : "false";
+    if (t.blocked) {
+      out += ",\"blocked_on\":";
+      AppendLockNameJson(t.blocked_on, &out);
+      out += ",\"blocked_mode\":\"";
+      out += LockModeName(t.blocked_mode);
+      out += "\",\"blocked_us\":" + std::to_string(t.blocked_us);
+    }
+    out += '}';
+  }
+  out += "],\"edges\":[";
+  first = true;
+  for (const auto& e : edges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"waiter\":" + std::to_string(e.waiter);
+    out += ",\"holder\":" + std::to_string(e.holder);
+    out += ",\"name\":";
+    AppendLockNameJson(e.name, &out);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string LockTableSnapshot::ToDot() const {
+  // Waits-for digraph. Blocked transactions are drawn filled; edges carry
+  // the contested lock name. Parallel edges (one waiter blocked behind
+  // several holders on one queue) are kept — they are real dependencies.
+  std::string out = "digraph waits_for {\n";
+  out += "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& t : txns) {
+    out += "  txn" + std::to_string(t.txn) + " [label=\"txn" +
+           std::to_string(t.txn) + "\\nheld=" + std::to_string(t.held);
+    if (t.blocked) {
+      out += "\\nblocked " + std::to_string(t.blocked_us) + "us";
+    }
+    out += "\"";
+    if (t.blocked) out += ", style=filled, fillcolor=lightyellow";
+    out += "];\n";
+  }
+  for (const auto& e : edges) {
+    out += "  txn" + std::to_string(e.waiter) + " -> txn" +
+           std::to_string(e.holder) + " [label=\"" + e.name.ToString() +
+           "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DeadlockPostmortem::Summary() const {
+  std::string out = "cycle[len=" + std::to_string(cycle.size()) + "]";
+  bool first = true;
+  for (const auto& n : cycle) {
+    out += first ? " " : " -> ";
+    first = false;
+    out += "txn" + std::to_string(n.txn) + "(";
+    if (n.had_grant) {
+      out += std::string(LockModeName(n.granted_mode)) + "->";
+    }
+    out += std::string(LockModeName(n.requested)) + " " + n.name.ToString() +
+           ", waited " + std::to_string(n.wait_us) + "us)";
+  }
+  out += "; victim txn" + std::to_string(victim);
+  return out;
+}
+
+std::string DeadlockPostmortem::ToJson() const {
+  std::string out = "{\"seq\":" + std::to_string(seq);
+  out += ",\"at_ns\":" + std::to_string(at_ns);
+  out += ",\"wall_unix_us\":" + std::to_string(wall_unix_us);
+  out += ",\"victim\":" + std::to_string(victim);
+  out += ",\"victim_wait_us\":" + std::to_string(victim_wait_us);
+  out += ",\"cycle\":[";
+  bool first = true;
+  for (const auto& n : cycle) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"txn\":" + std::to_string(n.txn);
+    out += ",\"name\":";
+    AppendLockNameJson(n.name, &out);
+    out += ",\"requested\":\"";
+    out += LockModeName(n.requested);
+    out += '"';
+    if (n.had_grant) {
+      out += ",\"granted\":\"";
+      out += LockModeName(n.granted_mode);
+      out += '"';
+    }
+    out += ",\"wait_us\":" + std::to_string(n.wait_us);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ariesim

@@ -1,0 +1,92 @@
+// Structured views of the lock manager's internal state (PR 5).
+//
+// LockTableSnapshot is a point-in-time copy of every queue, every
+// transaction's held/blocked state, and the waits-for edge set — the same
+// edges the deadlock detector walks, so what the snapshot shows is exactly
+// what the detector sees. DeadlockPostmortem preserves a resolved cycle
+// (victim, every cycle member, the lock each waited on) after the waits-for
+// graph has already dissolved. Schemas: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "lock/lock_mode.h"
+
+namespace ariesim {
+
+/// One request row in a lock queue, as captured by Snapshot().
+struct LockRequestInfo {
+  TxnId txn = kInvalidTxnId;
+  LockMode mode = LockMode::kIS;  ///< granted mode, or requested if waiting
+  bool granted = false;
+  bool converting = false;            ///< granted, upgrade pending
+  LockMode conv_target = LockMode::kIS;  ///< meaningful when converting
+  uint64_t wait_us = 0;   ///< current wait age (waiters / converters), else 0
+  uint64_t grant_us = 0;  ///< how long the grant has been held, else 0
+};
+
+struct LockQueueInfo {
+  LockName name;
+  std::vector<LockRequestInfo> requests;  ///< arrival order, as queued
+};
+
+/// One waits-for edge: `waiter` cannot proceed until `holder` releases or
+/// converts its request on `name`.
+struct WaitsForEdge {
+  TxnId waiter = kInvalidTxnId;
+  TxnId holder = kInvalidTxnId;
+  LockName name;
+};
+
+/// Per-transaction rollup.
+struct TxnLockInfo {
+  TxnId txn = kInvalidTxnId;
+  uint64_t held = 0;      ///< distinct lock names held
+  bool blocked = false;   ///< has a waiting or converting request
+  LockName blocked_on;    ///< meaningful when blocked
+  LockMode blocked_mode = LockMode::kIS;  ///< mode it is waiting for
+  uint64_t blocked_us = 0;                ///< wait age
+};
+
+struct LockTableSnapshot {
+  uint64_t captured_at_ns = 0;  ///< MonotonicNowNs() at capture
+  std::vector<LockQueueInfo> queues;
+  std::vector<TxnLockInfo> txns;
+  std::vector<WaitsForEdge> edges;
+
+  /// Human-readable table (ariesh .locks, DumpState).
+  std::string ToString() const;
+  /// {"captured_at_ns":..,"queues":[..],"txns":[..],"edges":[..]}
+  std::string ToJson() const;
+  /// Graphviz digraph of the waits-for edges; `dot -Tsvg` renderable.
+  std::string ToDot() const;
+};
+
+/// One member of a resolved deadlock cycle.
+struct DeadlockCycleNode {
+  TxnId txn = kInvalidTxnId;
+  LockName name;                  ///< the lock this member was waiting on
+  LockMode requested = LockMode::kIS;  ///< mode it wanted
+  bool had_grant = false;              ///< true for a converting holder
+  LockMode granted_mode = LockMode::kIS;  ///< held mode when had_grant
+  uint64_t wait_us = 0;  ///< how long it had been waiting at detection
+};
+
+/// A deadlock the detector resolved, preserved in the postmortem ring.
+struct DeadlockPostmortem {
+  uint64_t seq = 0;         ///< 1-based, monotonically increasing
+  uint64_t at_ns = 0;       ///< MonotonicNowNs() at detection
+  uint64_t wall_unix_us = 0;  ///< wall clock (system_clock), microseconds
+  TxnId victim = kInvalidTxnId;
+  uint64_t victim_wait_us = 0;
+  std::vector<DeadlockCycleNode> cycle;
+
+  /// One line: "cycle[len=2] txn7(X rec:1:5:0, waited 12ms) -> txn9(...)".
+  std::string Summary() const;
+  std::string ToJson() const;
+};
+
+}  // namespace ariesim

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <tuple>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "common/histogram.h"
 #include "common/trace.h"
 
@@ -54,12 +57,19 @@ bool LockManager::NewGrantable(const Queue& q, const Request& r) const {
 }
 
 void LockManager::GrantWaiters(Queue& q) {
+  // One clock read at most, and only when something is actually granted.
+  uint64_t now = 0;
+  auto now_ns = [&now]() {
+    if (now == 0) now = MonotonicNowNs();
+    return now;
+  };
   // Pass 1: conversions.
   for (auto& r : q.reqs) {
     if (r.granted && r.converting && ConversionGrantable(q, r)) {
       r.mode = r.conv_target;
       r.converting = false;
       r.conversion_applied = true;
+      r.grant_ns = now_ns();
       auto it = txns_.find(r.txn);
       if (it != txns_.end()) it->second->cv.notify_all();
     }
@@ -69,26 +79,27 @@ void LockManager::GrantWaiters(Queue& q) {
     if (r.granted) continue;
     if (!NewGrantable(q, r)) break;
     r.granted = true;
+    r.grant_ns = now_ns();
     auto it = txns_.find(r.txn);
     if (it != txns_.end()) it->second->cv.notify_all();
   }
 }
 
-TxnId LockManager::DetectDeadlock(TxnId start) {
+std::vector<WaitsForEdge> LockManager::BuildEdgesLocked() const {
   // Waits-for edges:
   //  - a plain waiter depends on every incompatible granted holder, every
   //    converting holder, and every earlier waiter in its queue;
   //  - a converting holder depends on every *other* granted holder whose
   //    mode is incompatible with its conversion target.
-  std::unordered_map<TxnId, std::vector<TxnId>> edges;
-  for (auto& [name, q] : table_) {
+  std::vector<WaitsForEdge> out;
+  for (const auto& [name, q] : table_) {
     std::vector<const Request*> seen;
-    for (auto& r : q.reqs) {
+    for (const auto& r : q.reqs) {
       if (r.granted && r.converting) {
-        for (auto& g : q.reqs) {
+        for (const auto& g : q.reqs) {
           if (g.txn == r.txn || !g.granted) continue;
           if (!LockCompatible(g.mode, r.conv_target)) {
-            edges[r.txn].push_back(g.txn);
+            out.push_back({r.txn, g.txn, name});
           }
         }
       }
@@ -97,11 +108,19 @@ TxnId LockManager::DetectDeadlock(TxnId start) {
           if (prior->txn == r.txn) continue;
           bool blocks = !prior->granted || prior->converting ||
                         !LockCompatible(prior->mode, r.mode);
-          if (blocks) edges[r.txn].push_back(prior->txn);
+          if (blocks) out.push_back({r.txn, prior->txn, name});
         }
       }
       seen.push_back(&r);
     }
+  }
+  return out;
+}
+
+TxnId LockManager::DetectDeadlock(TxnId start, std::vector<TxnId>* cycle_out) {
+  std::unordered_map<TxnId, std::vector<TxnId>> edges;
+  for (const WaitsForEdge& e : BuildEdgesLocked()) {
+    edges[e.waiter].push_back(e.holder);
   }
   // Iterative DFS from `start`, looking for a cycle back to `start`.
   struct FrameS {
@@ -122,6 +141,7 @@ TxnId LockManager::DetectDeadlock(TxnId start) {
     }
     TxnId child = it->second[top.next_child++];
     if (child == start) {
+      if (cycle_out != nullptr) *cycle_out = path;
       return *std::max_element(path.begin(), path.end());  // youngest
     }
     if (on_path.insert(child).second) {
@@ -130,6 +150,115 @@ TxnId LockManager::DetectDeadlock(TxnId start) {
     }
   }
   return kInvalidTxnId;
+}
+
+void LockManager::RecordPostmortemLocked(TxnId victim,
+                                         const std::vector<TxnId>& cycle) {
+  const uint64_t now = MonotonicNowNs();
+  DeadlockPostmortem pm;
+  pm.seq = ++postmortem_seq_;
+  pm.at_ns = now;
+  pm.wall_unix_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  pm.victim = victim;
+  for (TxnId t : cycle) {
+    DeadlockCycleNode node;
+    node.txn = t;
+    bool found = false;
+    for (const auto& [name, q] : table_) {
+      for (const auto& r : q.reqs) {
+        if (r.txn != t) continue;
+        if (!r.granted) {
+          node.name = name;
+          node.requested = r.mode;
+          node.wait_us = (now - r.wait_start_ns) / 1000;
+          found = true;
+        } else if (r.converting) {
+          node.name = name;
+          node.requested = r.conv_target;
+          node.had_grant = true;
+          node.granted_mode = r.mode;
+          node.wait_us = (now - r.wait_start_ns) / 1000;
+          found = true;
+        }
+        if (found) break;
+      }
+      if (found) break;
+    }
+    if (t == victim) pm.victim_wait_us = node.wait_us;
+    pm.cycle.push_back(node);
+  }
+  const size_t len = cycle.size();
+  cycle_len_counts_[len > kMaxTrackedCycleLen ? kMaxTrackedCycleLen : len]++;
+  if (metrics_ != nullptr) {
+    metrics_->deadlock_cycle_txns.fetch_add(len, std::memory_order_relaxed);
+    metrics_->deadlock_victim_wait.Record(pm.victim_wait_us * 1000);
+  }
+  ARIES_TRACE_INSTANT("lock.deadlock", TraceCat::kLock, victim);
+  if (postmortem_cap_ == 0) return;
+  postmortems_.push_back(std::move(pm));
+  while (postmortems_.size() > postmortem_cap_) postmortems_.pop_front();
+}
+
+std::string LockManager::VictimSummaryLocked(TxnId txn) const {
+  for (auto it = postmortems_.rbegin(); it != postmortems_.rend(); ++it) {
+    if (it->victim == txn) return it->Summary();
+  }
+  return {};
+}
+
+void LockManager::MaybeFireWatchdog(std::unique_lock<std::mutex>& lk,
+                                    uint64_t wait_start_ns) {
+  if (watchdog_threshold_ms_ == 0 || watchdog_fired_) return;
+  const uint64_t now = MonotonicNowNs();
+  if (now - wait_start_ns <
+      static_cast<uint64_t>(watchdog_threshold_ms_) * 1000000ull) {
+    return;
+  }
+  watchdog_fired_ = true;
+  if (metrics_ != nullptr) {
+    metrics_->lock_watchdog_dumps.fetch_add(1, std::memory_order_relaxed);
+  }
+  LockTableSnapshot snap = SnapshotLocked(now);
+  std::string dump = "[lock-watchdog] a lock wait exceeded " +
+                     std::to_string(watchdog_threshold_ms_) + "ms\n" +
+                     snap.ToString() + snap.ToDot();
+  auto sink = watchdog_sink_;
+  // The sink runs without mu_ so it may itself call Snapshot() or log
+  // slowly. The waiting request outlives the unlock: only its own thread
+  // (sitting here) can remove it.
+  lk.unlock();
+  if (sink) {
+    sink(dump);
+  } else {
+    std::fwrite(dump.data(), 1, dump.size(), stderr);
+  }
+  lk.lock();
+}
+
+void LockManager::MaybeRearmWatchdogLocked() {
+  if (watchdog_threshold_ms_ == 0 || !watchdog_fired_) return;
+  const uint64_t now = MonotonicNowNs();
+  const uint64_t thr =
+      static_cast<uint64_t>(watchdog_threshold_ms_) * 1000000ull;
+  for (const auto& [name, q] : table_) {
+    for (const auto& r : q.reqs) {
+      if ((!r.granted || r.converting) && now - r.wait_start_ns >= thr) {
+        return;  // the episode is still live
+      }
+    }
+  }
+  watchdog_fired_ = false;
+}
+
+void LockManager::ConfigureWatchdog(
+    uint32_t threshold_ms, std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  watchdog_threshold_ms_ = threshold_ms;
+  watchdog_sink_ = std::move(sink);
+  watchdog_fired_ = false;
 }
 
 Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
@@ -160,6 +289,7 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
         mine->mode = target;
         mine->converting = false;
         mine->conversion_applied = true;
+        mine->grant_ns = MonotonicNowNs();
       } else if (conditional) {
         mine->converting = false;
         if (metrics_ != nullptr) {
@@ -171,20 +301,28 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
         if (metrics_ != nullptr) {
           metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
         }
+        mine->wait_start_ns = MonotonicNowNs();
         // Wait time (granted or deadlock-aborted) lands in the histogram and
         // as a trace span when both RAII objects leave this block.
         ScopedLatency wait_timer(
             metrics_ != nullptr ? &metrics_->lock_wait_latency : nullptr);
         ARIES_TRACE_SPAN(wait_span, "lock.wait", TraceCat::kLock, txn);
         while (mine->converting) {
-          TxnId victim = DetectDeadlock(txn);
+          std::vector<TxnId> cycle;
+          TxnId victim = DetectDeadlock(txn, &cycle);
           if (victim != kInvalidTxnId) {
             if (victim == txn) {
-              st.deadlock_victim = true;
+              if (!st.deadlock_victim) {
+                RecordPostmortemLocked(victim, cycle);
+                st.deadlock_victim = true;
+              }
             } else {
               auto vit = txns_.find(victim);
               if (vit != txns_.end()) {
-                vit->second->deadlock_victim = true;
+                if (!vit->second->deadlock_victim) {
+                  RecordPostmortemLocked(victim, cycle);
+                  vit->second->deadlock_victim = true;
+                }
                 vit->second->cv.notify_all();
               }
             }
@@ -192,17 +330,26 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
           if (st.deadlock_victim) {
             st.deadlock_victim = false;
             mine->converting = false;  // keep the original granted mode
+            contention_.RecordWait(name,
+                                   MonotonicNowNs() - mine->wait_start_ns);
             GrantWaiters(q);
             if (metrics_ != nullptr) {
               metrics_->deadlocks.fetch_add(1, std::memory_order_relaxed);
             }
-            return Status::Deadlock("deadlock upgrading " + name.ToString());
+            std::string summary = VictimSummaryLocked(txn);
+            MaybeRearmWatchdogLocked();
+            return Status::Deadlock(
+                "deadlock upgrading " + name.ToString() +
+                (summary.empty() ? std::string() : "; " + summary));
           }
+          MaybeFireWatchdog(lk, mine->wait_start_ns);
           st.cv.wait_for(lk, std::chrono::milliseconds(5));
         }
         if (!mine->conversion_applied) {
           return Status::Corruption("conversion wait ended unapplied");
         }
+        contention_.RecordWait(name, MonotonicNowNs() - mine->wait_start_ns);
+        MaybeRearmWatchdogLocked();
       }
       // Conversion applied. Instant duration reverts to the prior mode.
       if (duration == LockDuration::kInstant) {
@@ -221,6 +368,7 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
       Request* mine = &q.reqs.back();
       if (NewGrantable(q, *mine)) {
         mine->granted = true;
+        mine->grant_ns = MonotonicNowNs();
       } else if (conditional) {
         q.reqs.pop_back();
         if (q.reqs.empty()) table_.erase(name);
@@ -233,34 +381,51 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
         if (metrics_ != nullptr) {
           metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
         }
+        mine->wait_start_ns = MonotonicNowNs();
         ScopedLatency wait_timer(
             metrics_ != nullptr ? &metrics_->lock_wait_latency : nullptr);
         ARIES_TRACE_SPAN(wait_span, "lock.wait", TraceCat::kLock, txn);
         while (!mine->granted) {
-          TxnId victim = DetectDeadlock(txn);
+          std::vector<TxnId> cycle;
+          TxnId victim = DetectDeadlock(txn, &cycle);
           if (victim != kInvalidTxnId) {
             if (victim == txn) {
-              st.deadlock_victim = true;
+              if (!st.deadlock_victim) {
+                RecordPostmortemLocked(victim, cycle);
+                st.deadlock_victim = true;
+              }
             } else {
               auto vit = txns_.find(victim);
               if (vit != txns_.end()) {
-                vit->second->deadlock_victim = true;
+                if (!vit->second->deadlock_victim) {
+                  RecordPostmortemLocked(victim, cycle);
+                  vit->second->deadlock_victim = true;
+                }
                 vit->second->cv.notify_all();
               }
             }
           }
           if (st.deadlock_victim) {
             st.deadlock_victim = false;
+            contention_.RecordWait(name,
+                                   MonotonicNowNs() - mine->wait_start_ns);
             q.reqs.remove_if([&](const Request& x) { return &x == mine; });
             GrantWaiters(q);
             if (q.reqs.empty()) table_.erase(name);
             if (metrics_ != nullptr) {
               metrics_->deadlocks.fetch_add(1, std::memory_order_relaxed);
             }
-            return Status::Deadlock("deadlock on " + name.ToString());
+            std::string summary = VictimSummaryLocked(txn);
+            MaybeRearmWatchdogLocked();
+            return Status::Deadlock(
+                "deadlock on " + name.ToString() +
+                (summary.empty() ? std::string() : "; " + summary));
           }
+          MaybeFireWatchdog(lk, mine->wait_start_ns);
           st.cv.wait_for(lk, std::chrono::milliseconds(5));
         }
+        contention_.RecordWait(name, MonotonicNowNs() - mine->wait_start_ns);
+        MaybeRearmWatchdogLocked();
       }
       // Granted.
       if (duration == LockDuration::kInstant) {
@@ -315,22 +480,90 @@ bool LockManager::Holds(TxnId txn, const LockName& name, LockMode mode) {
   return hit != tit->second->held.end() && LockCovers(hit->second, mode);
 }
 
-std::string LockManager::DumpState() {
-  std::lock_guard<std::mutex> lk(mu_);
-  std::string out;
-  for (auto& [name, q] : table_) {
-    out += name.ToString() + ":";
-    for (auto& r : q.reqs) {
-      out += " txn" + std::to_string(r.txn) + "/" + LockModeName(r.mode);
-      if (r.granted) out += "*";
-      if (r.converting) {
-        out += "->" + std::string(LockModeName(r.conv_target)) + "(conv)";
+LockTableSnapshot LockManager::SnapshotLocked(uint64_t now_ns) const {
+  LockTableSnapshot snap;
+  snap.captured_at_ns = now_ns;
+  snap.queues.reserve(table_.size());
+  for (const auto& [name, q] : table_) {
+    LockQueueInfo qi;
+    qi.name = name;
+    qi.requests.reserve(q.reqs.size());
+    for (const auto& r : q.reqs) {
+      LockRequestInfo ri;
+      ri.txn = r.txn;
+      ri.mode = r.mode;
+      ri.granted = r.granted;
+      ri.converting = r.granted && r.converting;
+      ri.conv_target = r.conv_target;
+      if (!r.granted || r.converting) {
+        ri.wait_us = (now_ns - r.wait_start_ns) / 1000;
       }
+      if (r.granted) {
+        ri.grant_us = r.grant_ns == 0 ? 0 : (now_ns - r.grant_ns) / 1000;
+      }
+      qi.requests.push_back(ri);
     }
-    out += "\n";
+    snap.queues.push_back(std::move(qi));
   }
-  return out;
+  std::sort(snap.queues.begin(), snap.queues.end(),
+            [](const LockQueueInfo& a, const LockQueueInfo& b) {
+              return std::tie(a.name.space, a.name.object, a.name.a,
+                              a.name.b) < std::tie(b.name.space, b.name.object,
+                                                   b.name.a, b.name.b);
+            });
+  snap.txns.reserve(txns_.size());
+  for (const auto& [id, st] : txns_) {
+    TxnLockInfo ti;
+    ti.txn = id;
+    ti.held = st->held.size();
+    snap.txns.push_back(ti);
+  }
+  std::sort(snap.txns.begin(), snap.txns.end(),
+            [](const TxnLockInfo& a, const TxnLockInfo& b) {
+              return a.txn < b.txn;
+            });
+  // Fill blocked state from the queues (one waiting or converting request
+  // per txn at a time: a txn has at most one Lock() call in flight).
+  for (const auto& [name, q] : table_) {
+    for (const auto& r : q.reqs) {
+      if (r.granted && !r.converting) continue;
+      auto it = std::lower_bound(snap.txns.begin(), snap.txns.end(), r.txn,
+                                 [](const TxnLockInfo& t, TxnId id) {
+                                   return t.txn < id;
+                                 });
+      if (it == snap.txns.end() || it->txn != r.txn) continue;
+      it->blocked = true;
+      it->blocked_on = name;
+      it->blocked_mode = r.granted ? r.conv_target : r.mode;
+      it->blocked_us = (now_ns - r.wait_start_ns) / 1000;
+    }
+  }
+  snap.edges = BuildEdgesLocked();
+  return snap;
 }
+
+LockTableSnapshot LockManager::Snapshot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return SnapshotLocked(MonotonicNowNs());
+}
+
+std::vector<DeadlockPostmortem> LockManager::Postmortems() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {postmortems_.begin(), postmortems_.end()};
+}
+
+void LockManager::SetPostmortemCapacity(size_t cap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  postmortem_cap_ = cap;
+  while (postmortems_.size() > postmortem_cap_) postmortems_.pop_front();
+}
+
+std::vector<uint64_t> LockManager::CycleLengthCounts() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {cycle_len_counts_, cycle_len_counts_ + kMaxTrackedCycleLen + 1};
+}
+
+std::string LockManager::DumpState() { return Snapshot().ToString(); }
 
 size_t LockManager::HeldCount(TxnId txn) {
   std::lock_guard<std::mutex> lk(mu_);

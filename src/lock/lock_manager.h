@@ -5,18 +5,28 @@
 //  - never wait for a lock while holding a latch — request conditionally
 //    first; on kBusy release latches, request unconditionally, revalidate;
 //  - rolling-back transactions never request locks, so they never deadlock.
+//
+// Forensics (PR 5, docs/OBSERVABILITY.md): Snapshot() exports the queues,
+// per-txn state, and waits-for edges the detector walks; every resolved
+// deadlock is preserved in a bounded postmortem ring; per-lock-name wait
+// heat lands in a lock-free ContentionSketch; an opt-in blocked-waiter
+// watchdog dumps the snapshot + DOT once per episode when a wait exceeds
+// its threshold.
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/contention.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "lock/lock_forensics.h"
 #include "lock/lock_mode.h"
 
 namespace ariesim {
@@ -34,12 +44,19 @@ using LockObserver = std::function<void(const LockEvent&)>;
 
 class LockManager {
  public:
+  using Contention = ContentionSketch<LockName, LockNameHash, 256>;
+
+  /// Longest deadlock cycle tracked individually by CycleLengthCounts();
+  /// longer cycles land in the final overflow bucket.
+  static constexpr size_t kMaxTrackedCycleLen = 16;
+
   explicit LockManager(Metrics* metrics) : metrics_(metrics) {}
 
   /// Acquire `name` in `mode` for `duration` on behalf of `txn`.
   /// If `conditional`, returns kBusy instead of waiting.
   /// Returns kDeadlock if the wait was chosen as a deadlock victim (the
-  /// request is withdrawn; the caller must abort the transaction).
+  /// request is withdrawn; the caller must abort the transaction). The
+  /// status message carries the one-line cycle summary of the postmortem.
   Status Lock(TxnId txn, const LockName& name, LockMode mode,
               LockDuration duration, bool conditional);
 
@@ -57,8 +74,39 @@ class LockManager {
 
   void SetObserver(LockObserver obs) { observer_ = std::move(obs); }
 
+  /// Point-in-time structured copy of the whole lock table: queues (sorted
+  /// by name), per-txn rollups (sorted by id), and the waits-for edge set —
+  /// exactly the edges DetectDeadlock walks.
+  LockTableSnapshot Snapshot();
+
+  /// Resolved deadlocks, oldest first, at most the ring capacity.
+  std::vector<DeadlockPostmortem> Postmortems();
+
+  /// Resize the postmortem ring (default 64). 0 disables recording; the
+  /// Status cycle summary degrades to the pre-forensics message.
+  void SetPostmortemCapacity(size_t cap);
+
+  /// Deadlocks observed per cycle length: index i = cycles of length i
+  /// (0 and 1 unused); the last slot aggregates cycles longer than
+  /// kMaxTrackedCycleLen.
+  std::vector<uint64_t> CycleLengthCounts();
+
+  /// Heaviest-waited lock names, by total wait time.
+  std::vector<Contention::Entry> TopContention(size_t n) const {
+    return contention_.TopN(n);
+  }
+  uint64_t ContentionDropped() const { return contention_.dropped(); }
+
+  /// Blocked-waiter watchdog. With threshold_ms > 0, the first lock wait to
+  /// exceed the threshold dumps Snapshot() (text + waits-for DOT) to `sink`
+  /// (default: stderr) exactly once per episode; the trigger re-arms when no
+  /// wait above the threshold remains. threshold_ms == 0 disables.
+  void ConfigureWatchdog(uint32_t threshold_ms,
+                         std::function<void(const std::string&)> sink = {});
+
   /// Debug: human-readable dump of every queue (granted holders, pending
-  /// conversions, waiters). For deadlock forensics in tests/tools.
+  /// conversions, waiters) plus blocked-txn and waits-for lines. Thin
+  /// formatter over Snapshot().
   std::string DumpState();
 
  private:
@@ -73,6 +121,8 @@ class LockManager {
     bool conversion_applied = false;
     LockMode conv_target = LockMode::kIS;
     LockMode prior_mode = LockMode::kIS;
+    uint64_t wait_start_ns = 0;  // set while waiting or converting
+    uint64_t grant_ns = 0;       // when the current mode was granted
   };
   struct Queue {
     std::list<Request> reqs;  // arrival order; waiters FIFO among themselves
@@ -87,16 +137,41 @@ class LockManager {
   bool ConversionGrantable(const Queue& q, const Request& r) const;
   bool NewGrantable(const Queue& q, const Request& r) const;
   void GrantWaiters(Queue& q);
-  /// Deadlock check; returns the chosen victim (kInvalidTxnId if none).
+  /// The waits-for edge set, one edge per (waiter, blocking holder, name).
+  std::vector<WaitsForEdge> BuildEdgesLocked() const;
+  /// Deadlock check; returns the chosen victim (kInvalidTxnId if none) and,
+  /// when a cycle is found, the member txns in walk order via `cycle_out`.
   /// Must be called with mu_ held.
-  TxnId DetectDeadlock(TxnId start);
+  TxnId DetectDeadlock(TxnId start, std::vector<TxnId>* cycle_out = nullptr);
+  /// Preserve a just-detected cycle in the postmortem ring and feed the
+  /// cycle-length / victim-wait distributions. Must hold mu_.
+  void RecordPostmortemLocked(TxnId victim, const std::vector<TxnId>& cycle);
+  /// Newest recorded cycle summary for `txn` (empty if none). Must hold mu_.
+  std::string VictimSummaryLocked(TxnId txn) const;
+  LockTableSnapshot SnapshotLocked(uint64_t now_ns) const;
+  /// Fire the watchdog if this wait crossed the threshold and the episode
+  /// has not fired yet. Briefly drops `lk` to call the sink.
+  void MaybeFireWatchdog(std::unique_lock<std::mutex>& lk,
+                         uint64_t wait_start_ns);
+  /// Re-arm the watchdog when no wait above the threshold remains.
+  void MaybeRearmWatchdogLocked();
   TxnLockState& State(TxnId txn);
 
   Metrics* metrics_;
   LockObserver observer_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<LockName, Queue, LockNameHash> table_;
   std::unordered_map<TxnId, std::unique_ptr<TxnLockState>> txns_;
+
+  // Forensics (all under mu_ except the lock-free sketch).
+  Contention contention_;
+  std::deque<DeadlockPostmortem> postmortems_;
+  size_t postmortem_cap_ = 64;
+  uint64_t postmortem_seq_ = 0;
+  uint64_t cycle_len_counts_[kMaxTrackedCycleLen + 1] = {};
+  uint32_t watchdog_threshold_ms_ = 0;
+  std::function<void(const std::string&)> watchdog_sink_;
+  bool watchdog_fired_ = false;
 };
 
 }  // namespace ariesim

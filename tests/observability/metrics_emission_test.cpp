@@ -93,10 +93,10 @@ TEST(MetricsEmission, NameTablesMatchCounts) {
   // against known first/last members.
   EXPECT_STREQ(Metrics::CounterNames()[0], "lock_requests");
   EXPECT_STREQ(Metrics::CounterNames()[Metrics::kCounterCount - 1],
-               "health_trips");
+               "btree_backoffs");
   EXPECT_STREQ(Metrics::HistogramNames()[0], "commit_latency");
   EXPECT_STREQ(Metrics::HistogramNames()[Metrics::kHistogramCount - 1],
-               "repair_latency");
+               "smo_latency");
 }
 
 }  // namespace

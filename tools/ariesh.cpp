@@ -17,6 +17,7 @@
 //   begin | commit | rollback | savepoint | rollback_to
 //   checkpoint | crash | validate <index> | stats | tables | help | quit
 //   .stats                       structured engine snapshot (JSON)
+//   .locks [dot|json]            lock-table snapshot + deadlock postmortems
 //   .trace on|off|dump [path]    event tracer control (see docs/OBSERVABILITY.md)
 #include <cstdio>
 #include <iostream>
@@ -90,6 +91,9 @@ void Shell::Execute(const std::vector<std::string>& tok) {
         "begin | commit | rollback | savepoint | rollback_to\n"
         "checkpoint | crash | validate <index> | stats | tables | quit\n"
         ".stats                      engine snapshot as JSON\n"
+        ".locks                      lock-table snapshot + postmortems\n"
+        ".locks dot                  waits-for graph as Graphviz DOT\n"
+        ".locks json                 full lock forensics as JSON\n"
         ".trace on|off               enable/disable event tracing\n"
         ".trace dump [path]          write Chrome trace JSON (default "
         "trace.json)\n");
@@ -259,6 +263,31 @@ void Shell::Execute(const std::vector<std::string>& tok) {
   }
   if (cmd == ".stats") {
     std::printf("%s\n", db->Stats().ToJson().c_str());
+    return;
+  }
+  if (cmd == ".locks") {
+    const std::string sub = tok.size() >= 2 ? Lower(tok[1]) : "";
+    if (sub == "dot") {
+      std::printf("%s", db->locks()->Snapshot().ToDot().c_str());
+    } else if (sub == "json") {
+      std::printf("%s\n", db->LockForensicsJson().c_str());
+    } else {
+      LockTableSnapshot snap = db->locks()->Snapshot();
+      std::string text = snap.ToString();
+      if (text.empty()) text = "(lock table empty)\n";
+      std::printf("%s", text.c_str());
+      std::vector<DeadlockPostmortem> pms = db->locks()->Postmortems();
+      std::printf("%zu deadlock postmortem(s)\n", pms.size());
+      for (const DeadlockPostmortem& pm : pms) {
+        std::printf("  #%lu %s\n", (unsigned long)pm.seq,
+                    pm.Summary().c_str());
+      }
+      for (const auto& e : db->locks()->TopContention(5)) {
+        std::printf("  hot lock %s: %lu waits, %lu us\n",
+                    e.key.ToString().c_str(), (unsigned long)e.waits,
+                    (unsigned long)(e.wait_ns / 1000));
+      }
+    }
     return;
   }
   if (cmd == ".trace" && tok.size() >= 2) {

@@ -3,7 +3,10 @@
 # compile out completely (ARIES_TRACE_* macros expand to nothing, the Tracer
 # stub keeps the API), the engine and every test must still build, and the
 # observability suite must pass — its trace tests flip to asserting the stub
-# behavior (Dump returns NotSupported).
+# behavior (Dump returns NotSupported). The concurrency-forensics layer
+# (lock_forensics_test, part of the label) must work unchanged: only its
+# lock.deadlock trace instant compiles away. Also asserts the blocked-waiter
+# watchdog defaults off (Options::lock_watchdog_threshold_ms == 0).
 #
 #   tools/check_trace_off.sh            # configure + build + run label
 #
@@ -31,5 +34,17 @@ fi
 
 echo "=== ARIESIM_TRACE=OFF: running observability tests ==="
 ctest --test-dir "${build_dir}" -L observability --output-on-failure -j "${jobs}"
+
+# Forensics must compile out with the tracer off except for the API itself:
+# the deadlock trace-instant name must not reach the binary...
+if strings "${build_dir}/src/libariesim.a" 2>/dev/null | grep -q "lock.deadlock"; then
+  echo "FAIL: lock.deadlock trace literal present despite ARIESIM_TRACE=OFF" >&2
+  exit 1
+fi
+# ...and the blocked-waiter watchdog must be off unless explicitly armed.
+if ! grep -q "lock_watchdog_threshold_ms = 0" src/common/config.h; then
+  echo "FAIL: lock_watchdog_threshold_ms no longer defaults to 0" >&2
+  exit 1
+fi
 
 echo "=== ARIESIM_TRACE=OFF build check passed ==="

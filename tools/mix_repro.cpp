@@ -1,5 +1,6 @@
 // Repro driver for the concurrent mixed workload with a watchdog that dumps
-// lock-manager state if progress stalls.
+// the structured lock-table snapshot (plus the waits-for DOT graph and any
+// deadlock postmortems) if progress stalls.
 #include <execinfo.h>
 #include <pthread.h>
 #include <signal.h>
@@ -36,6 +37,10 @@ int main(int argc, char** argv) {
   o.fsync_log = false;
   o.index_locking = static_cast<LockingProtocolKind>(proto_i);
   auto db = std::move(Database::Open(dir, o).value());
+  // Belt and braces: the engine-side blocked-waiter watchdog dumps the same
+  // snapshot if any single lock wait exceeds 2s, even if aggregate progress
+  // continues.
+  db->locks()->ConfigureWatchdog(2000);
   db->pool()->SetParanoid(true);
   Table* table = db->CreateTable("t", 2).value();
   db->CreateIndex("t", "pk", 0, true).value();
@@ -103,8 +108,13 @@ int main(int argc, char** argv) {
     uint64_t now = progress.load();
     if (now == last) {
       if (++stalls >= 6) {
-        std::fprintf(stderr, "STALLED. Lock state:\n%s\n",
-                     db->locks()->DumpState().c_str());
+        LockTableSnapshot snap = db->locks()->Snapshot();
+        std::fprintf(stderr, "STALLED. Lock state:\n%s\nwaits-for DOT:\n%s",
+                     snap.ToString().c_str(), snap.ToDot().c_str());
+        for (const DeadlockPostmortem& pm : db->locks()->Postmortems()) {
+          std::fprintf(stderr, "postmortem #%lu: %s\n", (unsigned long)pm.seq,
+                       pm.Summary().c_str());
+        }
         for (auto& t : ts) {
           pthread_kill(t.native_handle(), SIGUSR1);
           std::this_thread::sleep_for(std::chrono::milliseconds(200));

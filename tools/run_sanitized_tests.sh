@@ -13,8 +13,10 @@
 #   tools/run_sanitized_tests.sh thread -L stress   # stress suites only
 #   tools/run_sanitized_tests.sh thread -L observability  # tracer/histograms
 # The observability label covers the enable/disable-vs-recorder races in the
-# tracer and concurrent histogram recording — the TSan leg is what certifies
-# them data-race-free (see docs/OBSERVABILITY.md).
+# tracer, concurrent histogram recording, and the concurrency-forensics
+# surface (lock-free contention sketches, Snapshot() sampled under an
+# 8-thread storm, watchdog firing concurrent with waiters) — the TSan leg is
+# what certifies them data-race-free (see docs/OBSERVABILITY.md).
 # Stress-test seed lists can be narrowed for quicker sanitized runs:
 #   ARIESIM_STRESS_SEEDS=1-4 tools/run_sanitized_tests.sh thread
 set -euo pipefail

@@ -1,4 +1,6 @@
-// Debug driver: reproduce the SMO-storm corruption and dump diagnostics.
+// Debug driver: reproduce the SMO-storm corruption and dump diagnostics,
+// including the lock-forensics summary (postmortems + hot-lock contention)
+// after the run.
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -62,6 +64,15 @@ int main(int argc, char** argv) {
   std::this_thread::sleep_for(std::chrono::milliseconds(1500));
   stop = true;
   for (auto& t : threads) t.join();
+  for (const DeadlockPostmortem& pm : db->locks()->Postmortems()) {
+    std::fprintf(stderr, "postmortem #%lu: %s\n", (unsigned long)pm.seq,
+                 pm.Summary().c_str());
+  }
+  for (const auto& e : db->locks()->TopContention(5)) {
+    std::fprintf(stderr, "hot lock %s: waits=%lu wait_us=%lu\n",
+                 e.key.ToString().c_str(), (unsigned long)e.waits,
+                 (unsigned long)(e.wait_ns / 1000));
+  }
   size_t keys = 0;
   Status vs = tree->Validate(&keys);
   std::printf("validate: %s keys=%zu lost=%lu splits=%lu pagedel=%lu\n",
