@@ -4,9 +4,10 @@
 // page LSN. Fetch Next latches the remembered leaf and, if its LSN is
 // unchanged since the last positioning, advances in place; otherwise it
 // repositions with a fresh traversal (the current key may have been deleted
-// by this very transaction, or the leaf may have split). The located next
-// key is locked S for commit duration before the stopping condition is
-// evaluated.
+// by this very transaction, or the leaf may have split). Repositioning goes
+// through TraverseToLeafRead, i.e. the optimistic latch-free descent when
+// enabled (docs/CONCURRENCY.md). The located next key is locked S for
+// commit duration before the stopping condition is evaluated.
 #include "btree/btree.h"
 #include "btree/search_internal.h"
 
@@ -87,8 +88,8 @@ Status BTree::FetchNext(Transaction* txn, ScanCursor* cursor, FetchResult* out) 
       }
     }
     if (!have_leaf) {
-      ARIES_RETURN_NOT_OK(TraverseToLeaf(cursor->last_value, cursor->last_rid,
-                                         /*for_modify=*/false, &leaf));
+      ARIES_RETURN_NOT_OK(
+          TraverseToLeafRead(cursor->last_value, cursor->last_rid, &leaf));
     }
     NextSearch next;
     Status s = SearchForward(ctx_, index_id_, leaf, cursor->last_value,

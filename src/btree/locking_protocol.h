@@ -8,6 +8,11 @@
 //    more concurrency than data-only, more locks (paper §2.1);
 //  - ARIES/KVL-style key-value locking: lock (index, key-value) names —
 //    coarser on nonunique indexes and more locks per operation (paper §1).
+//
+// These protocols are descent-agnostic: the optimistic read path
+// (docs/CONCURRENCY.md) delivers the leaf under the same S latch as the
+// pessimistic one, so every lock request below runs identically — OLC
+// changes how the descent reaches the leaf, never what gets locked.
 #pragma once
 
 #include <memory>

@@ -8,6 +8,7 @@
 // RAII PageGuards which also hold the pin.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <list>
@@ -36,6 +37,14 @@ struct Frame {
   bool dirty = false;   // protected by pool mutex
   Lsn rec_lsn = kNullLsn;  ///< LSN that first dirtied the page (for the DPT)
   RwLatch latch;
+  /// Seqlock-style frame version for the optimistic read path (see
+  /// docs/CONCURRENCY.md, "Optimistic descent"): odd exactly while an X
+  /// latch on this frame is held, bumped on X acquire and again on X
+  /// release. An OptimisticPageGuard snapshot is consistent iff the version
+  /// was even and identical before and after the copy. Per-frame, not
+  /// per-page: guards hold a pin, so the frame↔page binding cannot change
+  /// under a live guard and the counter never aliases across pages.
+  std::atomic<uint64_t> version{0};
 };
 
 class BufferPool;
@@ -96,6 +105,54 @@ class PinGuard {
   Frame* frame_ = nullptr;
 };
 
+/// Pin-only guard for the optimistic (latch-free) read path. Holds no
+/// latch: the holder may only look at the page through TrySnapshot(), which
+/// copies the bytes and tells whether the copy is consistent, and Validate(),
+/// which re-checks a previously returned version. The pin keeps the
+/// frame↔page binding (and the version counter's meaning) stable. Move-only.
+class OptimisticPageGuard {
+ public:
+  OptimisticPageGuard() = default;
+  OptimisticPageGuard(BufferPool* pool, Frame* frame)
+      : pool_(pool), frame_(frame) {}
+  ~OptimisticPageGuard() { Release(); }
+  OptimisticPageGuard(const OptimisticPageGuard&) = delete;
+  OptimisticPageGuard& operator=(const OptimisticPageGuard&) = delete;
+  OptimisticPageGuard(OptimisticPageGuard&& o) noexcept {
+    *this = std::move(o);
+  }
+  OptimisticPageGuard& operator=(OptimisticPageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      o.frame_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return frame_ != nullptr; }
+  /// Stable while the pin is held (remaps happen only at pin_count == 0).
+  PageId page_id() const { return frame_->page_id; }
+
+  /// Copy the page into `dst` (page_size() bytes) without latching. Returns
+  /// true iff the copy is consistent — the frame version was even and
+  /// unchanged across the copy — and stores that version in *version_out
+  /// for later Validate() calls. On false the contents of `dst` are
+  /// unspecified and must not be parsed.
+  bool TrySnapshot(char* dst, uint64_t* version_out) const;
+
+  /// True iff the frame version still equals `version`: no X latch has been
+  /// acquired on the frame since the snapshot that returned it.
+  bool Validate(uint64_t version) const;
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, LogManager* log, size_t frames,
@@ -112,6 +169,9 @@ class BufferPool {
   Result<PageGuard> TryFetchPage(PageId id, LatchMode mode);
   /// Pin without latching.
   Result<PinGuard> PinPage(PageId id);
+  /// Pin for the optimistic read path: no latch, access only through the
+  /// guard's snapshot/validate protocol (docs/CONCURRENCY.md).
+  Result<OptimisticPageGuard> FetchPageOptimistic(PageId id);
 
   /// Write one page out (forcing the log first). Used by checkpoints and by
   /// tests that simulate a steal of a specific page.
@@ -169,6 +229,7 @@ class BufferPool {
  private:
   friend class PageGuard;
   friend class PinGuard;
+  friend class OptimisticPageGuard;
 
   /// Returns the frame holding `id`, pinned. Caller latches afterwards.
   Result<Frame*> FetchFrame(PageId id);

@@ -50,6 +50,10 @@ namespace ariesim {
   X(smo_page_deletes)                                                       \
   X(traversal_restarts)                                                     \
   X(smo_waits) /* traversals that waited out an SMO */                      \
+  /* Optimistic read path (docs/CONCURRENCY.md "Optimistic descent") */     \
+  X(olc_descents)  /* read descents completed latch-free */                 \
+  X(olc_restarts)  /* version-validation failures that re-descended */      \
+  X(olc_fallbacks) /* descents that fell back to latch coupling */          \
   /* Undo paths (paper §3 "Undo Processing") */                             \
   X(page_oriented_undos)                                                    \
   X(logical_undos)                                                          \
@@ -76,6 +80,7 @@ namespace ariesim {
   X(repair_latency)     /* one online page rebuild from the log */        \
   X(deadlock_victim_wait)  /* victim's wait age when the cycle was cut */ \
   X(tree_latch_hold_latency) /* tree-latch X hold time (SMO serializer) */\
+  X(read_descent_latency)  /* one read-path root->leaf descent (any mode) */\
   X(smo_latency)           /* one complete SMO: split or page delete */
 
 struct Metrics {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build and run the read-scaling sweep (95/5 fetch/insert mix at 1/2/4/8
+# threads, optimistic vs pessimistic descent), emitting BENCH_readscale.json
+# at the repo root. Each row carries throughput plus the latch-wait and
+# read-descent histograms and the olc_* counter deltas — see
+# docs/CONCURRENCY.md "Optimistic descent" and docs/METRICS.md.
+#
+# Usage: tools/run_readscale_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_readscale.json}"
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_readscale >/dev/null
+./build/bench/bench_readscale --readscale_json="${OUT}"
+echo "done: ${OUT}"
