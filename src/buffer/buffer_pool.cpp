@@ -171,6 +171,14 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
     bool victim_dirty = victim->dirty;
     PageId victim_old_id = victim->page_id;
     if (victim_dirty) writing_back_.emplace(victim_old_id, victim->rec_lsn);
+    // Instant restart: capture the pending-redo schedule before dropping the
+    // mutex; the quarantine keeps it stable until this fetch resolves it.
+    bool pending = false;
+    Lsn pending_rec_lsn = kNullLsn;
+    if (auto pit = pending_redo_.find(id); pit != pending_redo_.end()) {
+      pending = true;
+      pending_rec_lsn = pit->second;
+    }
     lk.unlock();
 
     // Miss latency: everything between releasing the pool mutex and the
@@ -211,6 +219,7 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
         }
       }
     }
+    bool repaired = false;
     if (!s.ok() && victim_persisted && repair_ &&
         (s.code() == Code::kCorruption || s.code() == Code::kIOError)) {
       // Online quarantine + repair: `id` still sits in io_in_progress_, so
@@ -219,7 +228,31 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
       // claimed frame. Other pages keep flowing normally.
       ARIES_TRACE_SPAN(repair_span, "bp.repair", TraceCat::kBuffer, id);
       Status rs = repair_(id, victim->data.get());
-      if (rs.ok()) s = Status::OK();
+      if (rs.ok()) {
+        s = Status::OK();
+        repaired = true;  // full rebuild: the image is already current
+      }
+    }
+    Lsn lazy_first_applied = kNullLsn;
+    if (s.ok() && pending && !repaired) {
+      // On-demand redo inside the same quarantine the repair path uses: the
+      // page is invisible until its LSN chain has been replayed onto the
+      // just-read image, so no reader can ever observe the stale version.
+      if (lazy_redo_) {
+        ARIES_TRACE_SPAN(lazy_span, "bp.lazy_redo", TraceCat::kBuffer, id);
+        const uint64_t lazy_start_ns = MonotonicNowNs();
+        s = lazy_redo_(id, victim->data.get(), pending_rec_lsn,
+                       &lazy_first_applied);
+        if (metrics_ != nullptr) {
+          metrics_->lazy_replay_latency.Record(MonotonicNowNs() -
+                                               lazy_start_ns);
+        }
+      } else {
+        // Serving the page without its redo debt would silently lose
+        // committed updates; fail the fetch instead.
+        s = Status::Corruption("page " + std::to_string(id) +
+                               " pending redo but no lazy-redo handler");
+      }
     }
 
     if (s.ok()) {
@@ -258,6 +291,19 @@ Result<Frame*> BufferPool::FetchFrame(PageId id) {
     victim->page_id = id;
     victim->dirty = false;
     victim->rec_lsn = kNullLsn;
+    if (pending) {
+      pending_redo_.erase(id);
+      if (lazy_first_applied != kNullLsn) {
+        // The replayed image is newer than disk; recLSN is the first record
+        // the replay applied, exactly as if redo had dirtied the page.
+        victim->dirty = true;
+        victim->rec_lsn = lazy_first_applied;
+      }
+      if (metrics_ != nullptr) {
+        metrics_->pages_recovered_lazily.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+    }
     page_table_[id] = victim;
     io_cv_.notify_all();
     return victim;
@@ -474,12 +520,36 @@ Status BufferPool::DiscardPage(PageId id) {
   return Status::OK();
 }
 
+void BufferPool::MarkPendingRedo(
+    const std::unordered_map<PageId, Lsn>& dpt) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [page, rec_lsn] : dpt) {
+    // Oldest recLSN wins (a nested crash can re-mark a page that was
+    // already pending with a fresher DPT entry).
+    auto [it, inserted] = pending_redo_.emplace(page, rec_lsn);
+    if (!inserted && rec_lsn < it->second) it->second = rec_lsn;
+  }
+}
+
+size_t BufferPool::PendingRedoCount() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_redo_.size();
+}
+
+bool BufferPool::NextPendingRedo(PageId* id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pending_redo_.empty()) return false;
+  *id = pending_redo_.begin()->first;
+  return true;
+}
+
 void BufferPool::DropAll() {
   std::lock_guard<std::mutex> lk(mu_);
   page_table_.clear();
   lru_.clear();
   lru_pos_.clear();
   free_frames_.clear();
+  pending_redo_.clear();
   for (auto& f : frames_) {
     f->page_id = kInvalidPageId;
     f->pin_count = 0;
@@ -501,6 +571,13 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
   // extra entry merely costs redo a few page_lsn checks; if it fails the
   // entry is the only thing keeping the page's recLSN in the checkpoint.
   for (auto& [id, rec_lsn] : writing_back_) {
+    dpt.emplace_back(id, rec_lsn);
+  }
+  // Pages still awaiting their first-touch redo carry unapplied log history
+  // exactly like dirty frames do; a checkpoint that dropped them would let
+  // a crash during instant restart lose their recLSNs (and with them the
+  // pruned page-index chains' floor).
+  for (auto& [id, rec_lsn] : pending_redo_) {
     dpt.emplace_back(id, rec_lsn);
   }
   return dpt;

@@ -213,6 +213,33 @@ class BufferPool {
     repair_ = std::move(handler);
   }
 
+  /// Instant-restart hook (docs/ARCHITECTURE.md, "Instant restart"): called
+  /// from a fetch miss on a page marked pending-redo, after the disk image
+  /// passed its checksum, with the page still quarantined in
+  /// io_in_progress_. Arguments: page id, frame buffer holding the disk
+  /// image, the scheduled recLSN, and an out-param for the first LSN the
+  /// replay applied (kNullLsn if the image was already current). On OK the
+  /// page leaves the pending set and the fetch proceeds; on error the fetch
+  /// fails and the page stays pending for a later retry.
+  using LazyRedoHandler = std::function<Status(PageId, char*, Lsn, Lsn*)>;
+  void SetLazyRedoHandler(LazyRedoHandler handler) {
+    lazy_redo_ = std::move(handler);
+  }
+
+  /// Schedule pages for first-touch redo (instant restart): each page's
+  /// next fetch miss runs the lazy-redo handler before the page becomes
+  /// visible. Keyed to the analysis DPT recLSN (oldest wins on re-mark).
+  /// Callers guarantee none of these pages is currently resident (the pool
+  /// was dropped by the crash).
+  void MarkPendingRedo(const std::unordered_map<PageId, Lsn>& dpt);
+
+  /// Pages still awaiting first-touch redo.
+  size_t PendingRedoCount();
+
+  /// Pick any page still awaiting redo (for the background sweeper).
+  /// Returns false when the set is empty.
+  bool NextPendingRedo(PageId* id);
+
   /// Snapshot of the dirty page table for fuzzy checkpoints.
   std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
 
@@ -244,6 +271,7 @@ class BufferPool {
   Metrics* metrics_;
   FaultInjector* fault_ = nullptr;
   RepairHandler repair_;
+  LazyRedoHandler lazy_redo_;
   size_t page_size_;
   bool verify_checksums_;
 
@@ -263,6 +291,13 @@ class BufferPool {
   /// would otherwise record a DPT missing the page, and restart redo would
   /// skip every log record between its true recLSN and its next update.
   std::unordered_map<PageId, Lsn> writing_back_;
+  /// Instant restart: pages scheduled for first-touch redo, keyed to their
+  /// analysis recLSN. Invariant: disjoint from page_table_ — the only path
+  /// to residency (the fetch miss) erases the entry. DirtyPageTable() must
+  /// report these pages so a checkpoint taken while the debt is draining
+  /// keeps their recLSNs — that is what makes a crash *during* instant
+  /// restart recoverable.
+  std::unordered_map<PageId, Lsn> pending_redo_;
   std::vector<Frame*> free_frames_;
   bool paranoid_ = false;
   std::mutex paranoid_mu_;

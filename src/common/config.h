@@ -87,6 +87,19 @@ struct Options {
   /// may disable it to inspect the raw crashed state).
   bool recover_on_open = true;
 
+  /// Instant restart (docs/ARCHITECTURE.md, "Instant restart"): Open()
+  /// returns ready for new transactions right after the analysis pass and
+  /// loser undo; the redo pass is deferred — every dirty page is replayed
+  /// from its per-page LSN chain on first fetch. Implies online page repair
+  /// (torn pages found during the lazy replays rebuild in place). When
+  /// false (default), Open() runs the classic three-pass restart.
+  bool instant_restart = false;
+
+  /// With instant_restart: drain the deferred-redo debt from a background
+  /// sweeper thread so cold pages do not carry recovery latency forever.
+  /// Tests and benches disable it to control exactly when pages recover.
+  bool instant_restart_sweep = true;
+
   /// Verify per-page CRC32C checksums on read.
   bool verify_checksums = true;
 

@@ -65,6 +65,10 @@ namespace ariesim {
   X(torn_pages_repaired)   /* CRC-failed pages rebuilt at restart */        \
   X(pages_repaired_online) /* pages rebuilt by the no-restart path */       \
   X(health_trips)          /* kHealthy -> kReadOnly -> kFailed moves */     \
+  /* Instant restart (PR 8; docs/ARCHITECTURE.md "Instant restart") */      \
+  X(pages_recovered_lazily)  /* pending pages redone on first fetch */      \
+  X(lazy_chain_fallbacks)    /* lazy replays that fell back to a scan */    \
+  X(instant_restart_open_us) /* gauge: last instant-open wall time, us */   \
   /* Concurrency forensics (PR 5; docs/OBSERVABILITY.md) */                 \
   X(deadlock_cycle_txns)   /* sum of cycle lengths over all postmortems */  \
   X(lock_watchdog_dumps)   /* blocked-waiter watchdog episode dumps */      \
@@ -78,6 +82,7 @@ namespace ariesim {
   X(page_miss_latency)  /* BufferPool miss: evict + read + verify */      \
   X(log_flush_latency)  /* one WAL tail write + fsync */                  \
   X(repair_latency)     /* one online page rebuild from the log */        \
+  X(lazy_replay_latency) /* one first-touch page redo (instant restart) */\
   X(deadlock_victim_wait)  /* victim's wait age when the cycle was cut */ \
   X(tree_latch_hold_latency) /* tree-latch X hold time (SMO serializer) */\
   X(read_descent_latency)  /* one read-path root->leaf descent (any mode) */\

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/clock.h"
+
 namespace ariesim {
 
 Database::Database(Options options) : options_(options) {}
@@ -53,9 +55,6 @@ Status Database::DoOpen(const std::string& dir) {
                                        options_.buffer_pool_frames, &metrics_,
                                        options_.verify_checksums);
   pool_->SetFaultInjector(&fault_);
-  log_->SetAppendObserver([pool = pool_.get()](PageId id, Lsn lsn) {
-    pool->NoteDirtyById(id, lsn);
-  });
   locks_ = std::make_unique<LockManager>(&metrics_);
   locks_->ConfigureWatchdog(options_.lock_watchdog_threshold_ms);
   txns_ = std::make_unique<TransactionManager>(log_.get(), locks_.get(),
@@ -73,6 +72,26 @@ Status Database::DoOpen(const std::string& dir) {
   recovery_ = std::make_unique<RecoveryManager>(&ctx_);
   ctx_.recovery = recovery_.get();
   txns_->SetRecovery(recovery_.get());
+  // One observer, two consumers, both inside the append critical section:
+  // the pool's DPT registration (closes the checkpoint ordering window) and
+  // the per-page log index that instant restart replays from. Installed
+  // here — after the recovery manager exists — and nothing appends log
+  // records between the pool's construction and this point.
+  if (options_.instant_restart) {
+    // Instant restart additionally feeds the per-page log index the
+    // checkpoints persist; in classic mode the index would never be
+    // serialized, so skip the per-append bookkeeping entirely.
+    log_->SetAppendObserver([pool = pool_.get(),
+                             idx = recovery_->page_index()](PageId id,
+                                                            Lsn lsn) {
+      pool->NoteDirtyById(id, lsn);
+      idx->Note(id, lsn);
+    });
+  } else {
+    log_->SetAppendObserver([pool = pool_.get()](PageId id, Lsn lsn) {
+      pool->NoteDirtyById(id, lsn);
+    });
+  }
 
   records_ = std::make_unique<RecordManager>(&ctx_);
   btree_rm_ = std::make_unique<BtreeResourceManager>(
@@ -97,6 +116,23 @@ Status Database::DoOpen(const std::string& dir) {
 
   ARIES_RETURN_NOT_OK(catalog_->Load());
   ARIES_RETURN_NOT_OK(LoadObjects());
+  if (options_.recover_on_open && options_.instant_restart) {
+    // Both fetch-miss handlers must be live *before* recovery begins:
+    // loser undo's first-touch fetches replay per-page chains, and a torn
+    // page met during one rebuilds in place (accounted as
+    // pages_repaired_online, not torn_pages_repaired — there is no redo
+    // pass to find it first).
+    InstallOnlineRepair();
+    InstallLazyRedo();
+    const uint64_t t0 = MonotonicNowNs();
+    ARIES_RETURN_NOT_OK(recovery_->RestartInstant(&restart_stats_));
+    metrics_.instant_restart_open_us.store((MonotonicNowNs() - t0) / 1000,
+                                           std::memory_order_relaxed);
+    if (options_.instant_restart_sweep && pool_->PendingRedoCount() > 0) {
+      StartSweeper();
+    }
+    return Status::OK();
+  }
   if (options_.recover_on_open) {
     ARIES_RETURN_NOT_OK(recovery_->Restart(&restart_stats_));
   }
@@ -107,7 +143,9 @@ Status Database::DoOpen(const std::string& dir) {
 }
 
 void Database::InstallOnlineRepair() {
-  if (!options_.online_page_repair) return;
+  // Instant restart implies online repair: the lazy replay path is the only
+  // thing that can meet a torn page (there is no restart-time redo sweep).
+  if (!options_.online_page_repair && !options_.instant_restart) return;
   pool_->SetRepairHandler([this](PageId id, char* buf) {
     // Repair duration (success or failure — both end the page's outage).
     ScopedLatency timer(&metrics_.repair_latency);
@@ -123,6 +161,75 @@ void Database::InstallOnlineRepair() {
     }
     return s;
   });
+}
+
+void Database::InstallLazyRedo() {
+  pool_->SetLazyRedoHandler(
+      [this](PageId id, char* buf, Lsn rec_lsn, Lsn* first_applied) {
+        return recovery_->LazyRedoPage(id, buf, rec_lsn, first_applied);
+      });
+}
+
+Status Database::DrainPendingRedo() {
+  PageId id = kInvalidPageId;
+  while (pool_->NextPendingRedo(&id)) {
+    // A successful fetch retires the page's debt as a side effect; the
+    // guard is released immediately (shared mode: the sweep never blocks
+    // writers for longer than the replay itself).
+    auto fetched = pool_->FetchPage(id, LatchMode::kShared);
+    ARIES_RETURN_NOT_OK(fetched.status());
+  }
+  return Status::OK();
+}
+
+void Database::StartSweeper() {
+  sweeper_stop_.store(false, std::memory_order_release);
+  sweeper_done_ = false;
+  sweeper_ = std::thread([this] { SweeperLoop(); });
+}
+
+void Database::SweeperLoop() {
+  int consecutive_failures = 0;
+  PageId id = kInvalidPageId;
+  bool drained = true;
+  while (!sweeper_stop_.load(std::memory_order_acquire)) {
+    if (!pool_->NextPendingRedo(&id)) break;
+    auto fetched = pool_->FetchPage(id, LatchMode::kShared);
+    if (fetched.ok()) {
+      consecutive_failures = 0;
+    } else if (++consecutive_failures > 64) {
+      // Persistent replay failure (e.g. unrepairable page on a read-only
+      // engine): stop burning the disk; the debt stays scheduled and
+      // surfaces on the page's next first-touch fetch.
+      drained = false;
+      break;
+    }
+  }
+  if (drained && !sweeper_stop_.load(std::memory_order_acquire) &&
+      pool_->PendingRedoCount() == 0) {
+    // Debt fully retired: checkpoint so the next restart starts clean.
+    recovery_->TakeCheckpoint();
+  }
+  {
+    std::lock_guard<std::mutex> lk(sweep_mu_);
+    sweeper_done_ = true;
+  }
+  sweep_cv_.notify_all();
+}
+
+void Database::StopSweeper() {
+  sweeper_stop_.store(true, std::memory_order_release);
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+Status Database::WaitForRecoveryDrain() {
+  if (sweeper_.joinable()) {
+    std::unique_lock<std::mutex> lk(sweep_mu_);
+    sweep_cv_.wait(lk, [this] { return sweeper_done_; });
+  }
+  // Finish whatever the sweeper left behind (it bails after persistent
+  // failures, and tests run with the sweeper disabled entirely).
+  return DrainPendingRedo();
 }
 
 BTree* Database::MaterializeIndex(const IndexMeta& meta) {
@@ -155,8 +262,11 @@ Status Database::LoadObjects() {
 }
 
 Database::~Database() {
+  StopSweeper();
   if (crashed_) return;
-  // Clean shutdown: checkpoint and flush so reopen needs no redo.
+  // Clean shutdown: checkpoint and flush so reopen needs no redo. Pages
+  // still pending lazy redo are safe to leave: the checkpoint's DPT carries
+  // their recLSNs, so the next open simply re-schedules them.
   if (recovery_ != nullptr) recovery_->TakeCheckpoint();
   if (pool_ != nullptr) pool_->FlushAll();
   if (log_ != nullptr) log_->Close();
@@ -322,6 +432,9 @@ std::string DatabaseStats::ToJson() const {
   out += ",\"loser_txns\":" + std::to_string(restart.loser_txns);
   out += ",\"torn_pages_repaired\":" +
          std::to_string(restart.torn_pages_repaired);
+  out += ",\"instant\":" + std::string(restart.instant ? "true" : "false");
+  out += ",\"lazy_pages_scheduled\":" +
+         std::to_string(restart.lazy_pages_scheduled);
   out += ",\"total_us\":" + std::to_string(restart.total_us);
   out += "},\"trace\":{";
   out += "\"enabled\":" + std::string(tracing_enabled ? "true" : "false");
@@ -420,6 +533,9 @@ Status Database::FlushPage(PageId id) { return pool_->FlushPage(id); }
 Status Database::FlushAllPages() { return pool_->FlushAll(); }
 
 void Database::SimulateCrash() {
+  // The sweeper first: it drives FetchPage traffic (log appends via
+  // checkpoint) that must not race the discard below.
+  StopSweeper();
   // Drain the group-commit flusher before discarding the tail so no flush
   // races the discard. In-flight committers fail over to the leader path
   // and observe either durability or the discarded tail (an error — their

@@ -6,9 +6,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "btree/btree.h"
 #include "buffer/buffer_pool.h"
@@ -82,6 +85,15 @@ class Database {
   Table* GetTable(const std::string& name);
   BTree* GetIndex(const std::string& name);
 
+  // -- instant restart (docs/ARCHITECTURE.md, "Instant restart") -----------
+  /// Pages still carrying deferred redo debt (0 unless the database was
+  /// opened with Options::instant_restart after a crash).
+  size_t PendingRecoveryPages() { return pool_->PendingRedoCount(); }
+  /// Block until every pending page has been recovered: waits for the
+  /// background sweeper if one is running, then drains any remainder
+  /// inline. Returns the first replay error (the debt stays scheduled).
+  Status WaitForRecoveryDrain();
+
   // -- maintenance / test hooks ---------------------------------------------
   Status Checkpoint();
   /// Force one page to disk (simulates a buffer steal in recovery tests).
@@ -141,6 +153,13 @@ class Database {
   /// Wire BufferPool fetch-miss repair to RecoveryManager::RebuildPageImage
   /// (no-op unless Options::online_page_repair).
   void InstallOnlineRepair();
+  /// Wire BufferPool pending-redo fetches to RecoveryManager::LazyRedoPage.
+  void InstallLazyRedo();
+  /// Fetch every pending page once (each successful fetch retires its debt).
+  Status DrainPendingRedo();
+  void StartSweeper();
+  void StopSweeper();
+  void SweeperLoop();
   Status MaybeAutoCheckpoint();
   Status LoadObjects();
   BTree* MaterializeIndex(const IndexMeta& meta);
@@ -168,6 +187,14 @@ class Database {
   std::unique_ptr<BtreeResourceManager> btree_rm_;
   std::unique_ptr<Catalog> catalog_;
   RestartStats restart_stats_;
+
+  /// Background drain of the instant-restart redo debt (cold pages would
+  /// otherwise carry first-touch recovery latency indefinitely).
+  std::thread sweeper_;
+  std::atomic<bool> sweeper_stop_{false};
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  bool sweeper_done_ = false;
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<ObjectId, std::unique_ptr<BTree>> trees_;

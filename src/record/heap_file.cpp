@@ -152,13 +152,49 @@ Result<PageId> HeapFile::ExtendChainBody(Transaction* txn, PageId last) {
   return fresh;
 }
 
+// Locate the last page of the chain without walking it front-to-back:
+// probe backward from the highest allocated page for a heap page of this
+// table with no successor. The chain tail is almost always among the most
+// recently allocated pages, so a cold start touches O(1) pages instead of
+// fetching (and, under instant restart, lazily replaying) every page in
+// the chain. The IsAllocated check rejects stale images of freed pages;
+// finding nothing just means the caller walks the chain as before.
+PageId HeapFile::FindChainTail() {
+  auto highest = ctx_->space->HighestAllocated();
+  if (!highest.ok()) return kInvalidPageId;
+  for (PageId pid = highest.value() + 1; pid-- > kSpaceMapPages;) {
+    auto alloc = ctx_->space->IsAllocated(pid);
+    if (!alloc.ok() || !alloc.value()) continue;
+    auto page = ctx_->pool->FetchPage(pid, LatchMode::kShared);
+    if (!page.ok()) continue;
+    PageView v = page.value().view();
+    if (v.type() == PageType::kHeap && v.owner_id() == table_id_ &&
+        v.next_page() == kInvalidPageId) {
+      return pid;
+    }
+  }
+  return kInvalidPageId;
+}
+
 Result<Rid> HeapFile::Insert(Transaction* txn, std::string_view record) {
   if (record.size() > ctx_->options.page_size / 2) {
     return Status::InvalidArgument("record larger than half a page");
   }
   PageId pid;
+  bool warmed;
   {
     std::lock_guard<std::mutex> lk(hint_mu_);
+    pid = insert_hint_;
+    warmed = hint_warmed_;
+  }
+  if (!warmed) {
+    // Cold hint (fresh open): jump to the chain tail. The warm hint never
+    // moves backward either, so this does not change the reuse policy —
+    // it only skips the one-time full-chain walk after a restart.
+    PageId tail = FindChainTail();
+    std::lock_guard<std::mutex> lk(hint_mu_);
+    hint_warmed_ = true;
+    if (tail != kInvalidPageId) insert_hint_ = tail;
     pid = insert_hint_;
   }
   PageId prev = kInvalidPageId;

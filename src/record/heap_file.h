@@ -55,12 +55,14 @@ class HeapFile {
                               std::string_view record, bool* page_full);
   Result<PageId> ExtendChain(Transaction* txn, PageId last);
   Result<PageId> ExtendChainBody(Transaction* txn, PageId last);
+  PageId FindChainTail();
 
   EngineContext* ctx_;
   ObjectId table_id_;
   PageId first_page_;
   std::mutex hint_mu_;
   PageId insert_hint_;
+  bool hint_warmed_ = false;  ///< guarded by hint_mu_; set after tail probe
 };
 
 }  // namespace ariesim

@@ -1,0 +1,141 @@
+#include "recovery/page_index.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace ariesim {
+
+void PageLogIndex::Note(PageId page, Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AppendToChain(&chains_, page, lsn);
+}
+
+void PageLogIndex::Prune(const std::vector<std::pair<PageId, Lsn>>& dpt) {
+  std::unordered_map<PageId, Lsn> rec_lsns;
+  rec_lsns.reserve(dpt.size());
+  for (const auto& [page, rec_lsn] : dpt) {
+    // A page can appear twice (resident dirty + in-flight write-back, or a
+    // pending-redo shadow); keep the oldest recLSN — pruning too little is
+    // only wasted bytes, pruning too much loses redo history.
+    auto [it, inserted] = rec_lsns.emplace(page, rec_lsn);
+    if (!inserted && rec_lsn < it->second) it->second = rec_lsn;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    auto dit = rec_lsns.find(it->first);
+    if (dit == rec_lsns.end()) {
+      it = chains_.erase(it);
+      continue;
+    }
+    std::vector<Lsn>& chain = it->second;
+    auto keep = std::lower_bound(chain.begin(), chain.end(), dit->second);
+    chain.erase(chain.begin(), keep);
+    if (chain.empty()) {
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageLogIndex::Adopt(PageLsnChains chains) {
+  std::lock_guard<std::mutex> lk(mu_);
+  chains_ = std::move(chains);
+}
+
+std::vector<std::string> PageLogIndex::SerializeChunks(size_t max_bytes) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> chunks;
+  std::string cur;
+  uint32_t cur_pages = 0;
+  cur.resize(4);  // n_pages placeholder
+  auto seal = [&]() {
+    if (cur_pages == 0) return;
+    EncodeFixed32(cur.data(), cur_pages);
+    chunks.push_back(std::move(cur));
+    cur.clear();
+    cur.resize(4);
+    cur_pages = 0;
+  };
+  for (const auto& [page, chain] : chains_) {
+    size_t i = 0;
+    while (i < chain.size()) {
+      // A group needs its 8-byte header plus at least one LSN; chains are
+      // ascending, so entries after the first are stored as varint deltas.
+      if (cur.size() + 8 + kMaxVarint64Bytes > max_bytes) {
+        seal();
+        continue;
+      }
+      PutFixed32(&cur, page);
+      size_t count_pos = cur.size();
+      PutFixed32(&cur, 0);  // patched once the group is closed
+      uint32_t took = 0;
+      Lsn prev = 0;
+      while (i < chain.size() && cur.size() + kMaxVarint64Bytes <= max_bytes) {
+        PutVarint64(&cur, took == 0 ? chain[i] : chain[i] - prev);
+        prev = chain[i];
+        ++took;
+        ++i;
+      }
+      EncodeFixed32(cur.data() + count_pos, took);
+      ++cur_pages;
+      if (i < chain.size()) seal();  // chain continues in the next chunk
+    }
+  }
+  seal();
+  return chunks;
+}
+
+Status PageLogIndex::ParseChunk(std::string_view payload, PageLsnChains* out) {
+  if (payload.size() < 4) {
+    return Status::Corruption("page-index chunk shorter than its header");
+  }
+  BufferReader r(payload.data(), payload.size());
+  uint32_t n_pages = r.GetFixed32();
+  for (uint32_t p = 0; p < n_pages; ++p) {
+    PageId page = r.GetFixed32();
+    uint32_t n_lsns = r.GetFixed32();
+    if (!r.ok()) {
+      return Status::Corruption("page-index chunk truncated (page header)");
+    }
+    std::vector<Lsn>& chain = (*out)[page];
+    Lsn lsn = 0;
+    for (uint32_t i = 0; i < n_lsns; ++i) {
+      // First entry of a group is absolute, the rest are ascending deltas.
+      uint64_t v = r.GetVarint64();
+      if (!r.ok()) {
+        return Status::Corruption("page-index chunk truncated (lsn chain)");
+      }
+      lsn = (i == 0) ? v : lsn + v;
+      if (chain.empty() || chain.back() < lsn) {
+        chain.push_back(lsn);
+      } else if (chain.back() > lsn) {
+        // Out-of-order merge (a later checkpoint's chunk replaying entries
+        // the tail scan already appended): sorted insert, dropping dups.
+        auto pos = std::lower_bound(chain.begin(), chain.end(), lsn);
+        if (pos == chain.end() || *pos != lsn) chain.insert(pos, lsn);
+      }  // equal: duplicate, drop
+    }
+  }
+  return Status::OK();
+}
+
+void PageLogIndex::AppendToChain(PageLsnChains* chains, PageId page, Lsn lsn) {
+  std::vector<Lsn>& chain = (*chains)[page];
+  if (chain.empty() || chain.back() < lsn) chain.push_back(lsn);
+}
+
+size_t PageLogIndex::pages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return chains_.size();
+}
+
+size_t PageLogIndex::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [page, chain] : chains_) n += chain.size();
+  return n;
+}
+
+}  // namespace ariesim

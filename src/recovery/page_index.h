@@ -1,0 +1,79 @@
+// Per-page log index for instant restart (Sauer & Härder-style on-demand
+// recovery; see docs/ARCHITECTURE.md, "Instant restart").
+//
+// Maps page-id -> the ascending LSN chain of that page's redoable records.
+// The chain is exactly what single-page redo needs: replaying it onto the
+// on-disk image (with the usual page_LSN idempotence check) brings the page
+// to its pre-crash state without scanning the whole log.
+//
+// Lifecycle:
+//  - maintained incrementally from LogManager's append observer (one Note()
+//    per redoable page record, inside the append critical section);
+//  - pruned and persisted at every fuzzy checkpoint as kPageIndex records
+//    between the begin- and end-checkpoint markers: chains of clean pages
+//    are dropped entirely (the on-disk image already embodies them) and
+//    dirty pages keep only entries >= their DPT recLSN;
+//  - reconstructed during restart analysis: the persisted chunks are merged,
+//    then every redoable record the tail scan passes is appended — so the
+//    chains cover [recLSN, end-of-log] for every dirty page by induction.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ariesim {
+
+/// page -> ascending, duplicate-free LSNs of the page's redoable records.
+using PageLsnChains = std::unordered_map<PageId, std::vector<Lsn>>;
+
+/// Max payload size of one kPageIndex record; a large index is split into
+/// several. Comfortably under the log manager's tail-buffer capacity.
+inline constexpr size_t kPageIndexChunkBytes = 48 * 1024;
+
+class PageLogIndex {
+ public:
+  /// Record that a redoable record for `page` was appended at `lsn`.
+  /// Called from inside the WAL append critical section; must stay cheap.
+  void Note(PageId page, Lsn lsn);
+
+  /// Checkpoint-time garbage collection against the fuzzy DPT snapshot:
+  /// drop the chains of pages not in `dpt` (their on-disk image is current —
+  /// any later record re-enters via Note and the analysis scan), and for
+  /// dirty pages drop entries below their recLSN (the on-disk image holds
+  /// everything older; no record for the page can exist between the disk
+  /// image's page_LSN and the recLSN).
+  void Prune(const std::vector<std::pair<PageId, Lsn>>& dpt);
+
+  /// Replace the contents with chains reconstructed by restart analysis.
+  void Adopt(PageLsnChains chains);
+
+  /// Serialize into kPageIndex payload chunks of at most `max_bytes` each:
+  /// [u32 n_pages] then per group [u32 page][u32 n_lsns][varint lsns] — the
+  /// first LSN of a group absolute, the rest ascending deltas (~3 bytes per
+  /// entry instead of 8). A page's chain may straddle a chunk boundary (each
+  /// continuation group restarts absolute); ParseChunk merges.
+  std::vector<std::string> SerializeChunks(size_t max_bytes) const;
+
+  /// Decode one kPageIndex payload into `out`, merging with whatever is
+  /// already there (sorted union, duplicates dropped). Corruption on a
+  /// malformed payload.
+  static Status ParseChunk(std::string_view payload, PageLsnChains* out);
+
+  /// Append `lsn` to `page`'s chain in `chains` if it is new (the common
+  /// case: LSNs arrive ascending, so this is an O(1) back-check).
+  static void AppendToChain(PageLsnChains* chains, PageId page, Lsn lsn);
+
+  size_t pages() const;
+  size_t entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  PageLsnChains chains_;
+};
+
+}  // namespace ariesim

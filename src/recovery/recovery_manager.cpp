@@ -23,6 +23,25 @@ Status RecoveryManager::TakeCheckpoint() {
   auto dpt = ctx_->pool->DirtyPageTable();
   auto tt = ctx_->txns->Snapshot();
 
+  // Persist the per-page log index between the checkpoint markers — only in
+  // instant-restart mode, so classic-mode logs keep their pre-index byte
+  // cadence (and auto-checkpoint phase) exactly. Prune first: clean pages'
+  // chains are embodied by their on-disk images, dirty pages only need
+  // entries >= their recLSN. Entries Noted between the prune and the
+  // serialization have LSN > begin_lsn, so the analysis tail scan (which
+  // starts at begin_lsn) re-derives them even if they miss the chunk.
+  page_index_.Prune(dpt);
+  if (ctx_->options.instant_restart) {
+    for (std::string& chunk :
+         page_index_.SerializeChunks(kPageIndexChunkBytes)) {
+      LogRecord idx;
+      idx.type = LogType::kPageIndex;
+      idx.payload = std::move(chunk);
+      ARIES_ASSIGN_OR_RETURN(Lsn idx_lsn, ctx_->txns->AppendSystemLog(&idx));
+      (void)idx_lsn;
+    }
+  }
+
   LogRecord end;
   end.type = LogType::kEndCheckpoint;
   PutFixed32(&end.payload, static_cast<uint32_t>(dpt.size()));
@@ -116,7 +135,16 @@ Status RecoveryManager::Analyze(Lsn start, AnalysisResult* out,
             rec.IsClr() ? rec.undo_next_lsn : rec.lsn;
         if (rec.IsRedoable() && rec.page_id != kInvalidPageId) {
           out->dpt.emplace(rec.page_id, rec.lsn);
+          PageLogIndex::AppendToChain(&out->chains, rec.page_id, rec.lsn);
         }
+        break;
+      }
+      case LogType::kPageIndex: {
+        // Merge a persisted chunk into the chains being reconstructed. The
+        // union of the chunks (entries >= checkpoint-time recLSN) and the
+        // scan-appended tail covers [recLSN, end-of-log] for every DPT page.
+        ARIES_RETURN_NOT_OK(
+            PageLogIndex::ParseChunk(rec.payload, &out->chains));
         break;
       }
       case LogType::kCommit: {
@@ -388,6 +416,10 @@ Status RecoveryManager::Restart(RestartStats* stats) {
     stats->analysis_us = (MonotonicNowNs() - t0) / 1000;
     ARIES_RETURN_NOT_OK(s);
   }
+  // Seed the live page-log index with the reconstructed chains so the
+  // trailing checkpoint (and every later one) persists a correct index;
+  // undo's CLR appends extend it via the WAL append observer.
+  page_index_.Adopt(std::move(ar.chains));
   {
     ARIES_TRACE_SPAN(span, "recovery.redo", TraceCat::kRecovery, 0);
     uint64_t t0 = MonotonicNowNs();
@@ -405,6 +437,128 @@ Status RecoveryManager::Restart(RestartStats* stats) {
   Status s = TakeCheckpoint();
   stats->total_us = (MonotonicNowNs() - t_start) / 1000;
   return s;
+}
+
+Status RecoveryManager::RestartInstant(RestartStats* stats) {
+  RestartStats local;
+  if (stats == nullptr) stats = &local;
+  stats->instant = true;
+  const uint64_t t_start = MonotonicNowNs();
+  ARIES_TRACE_SPAN(restart_span, "recovery.restart", TraceCat::kRecovery, 0);
+
+  Lsn start = kLogFilePrologue;
+  auto master = ctx_->log->ReadMaster();
+  if (master.ok()) start = master.value();
+
+  AnalysisResult ar;
+  {
+    ARIES_TRACE_SPAN(span, "recovery.analysis", TraceCat::kRecovery, start);
+    uint64_t t0 = MonotonicNowNs();
+    Status s = Analyze(start, &ar, stats);
+    stats->analysis_us = (MonotonicNowNs() - t0) / 1000;
+    ARIES_RETURN_NOT_OK(s);
+  }
+  // Freeze the reconstructed chains for LazyRedoPage — immutable until the
+  // next restart, so lazy replays read them without locking — and seed the
+  // live index so post-restart checkpoints persist a correct one.
+  restart_chains_ = ar.chains;
+  page_index_.Adopt(std::move(ar.chains));
+
+  // Instead of the sequential redo pass, schedule every DPT page for
+  // first-touch replay. From here on any FetchPage miss on one of these
+  // pages runs LazyRedoPage inside the fetch quarantine.
+  for (auto& [page, rec_lsn] : ar.dpt) {
+    if (stats->redo_start == kNullLsn || rec_lsn < stats->redo_start) {
+      stats->redo_start = rec_lsn;
+    }
+  }
+  ctx_->pool->MarkPendingRedo(ar.dpt);
+  stats->lazy_pages_scheduled = ar.dpt.size();
+
+  // Loser undo runs eagerly — bounded by loser activity, not log length.
+  // Its page fetches go through the lazy-redo path, so each touched page is
+  // rolled forward on demand before the undo applies on top, exactly the
+  // state the classic redo pass would have produced.
+  {
+    ARIES_TRACE_SPAN(span, "recovery.undo", TraceCat::kRecovery, 0);
+    uint64_t t0 = MonotonicNowNs();
+    Status s = UndoPass(ar, stats);
+    stats->undo_us = (MonotonicNowNs() - t0) / 1000;
+    ARIES_RETURN_NOT_OK(s);
+  }
+  // The checkpoint's DPT snapshot includes the still-pending pages (the
+  // pool reports them with their scheduled recLSN), so a crash *during*
+  // instant restart re-marks them on the next open — nested crashes
+  // converge to the same state as a classic restart.
+  Status s = TakeCheckpoint();
+  stats->total_us = (MonotonicNowNs() - t_start) / 1000;
+  return s;
+}
+
+Status RecoveryManager::LazyRedoPage(PageId page, char* buf, Lsn rec_lsn,
+                                     Lsn* first_applied) {
+  ARIES_TRACE_SPAN(span, "recovery.lazy_replay", TraceCat::kRecovery, page);
+  *first_applied = kNullLsn;
+  PageView v(buf, ctx_->pool->page_size());
+  if (v.type() == PageType::kInvalid && page < kSpaceMapPages) {
+    // A map page that never reached disk: recreate the pre-log base image so
+    // the logged bit flips replay on top of it (as RebuildPageImage does).
+    // Other blank pages replay as-is — classic redo also formats them from
+    // the zeroed image, and lazy replay must stay byte-identical to it (so
+    // no set_page_id here, unlike the repair path).
+    std::memset(buf, 0, ctx_->pool->page_size());
+    SpaceManager::FormatMapPage(v, page);
+  }
+  auto it = restart_chains_.find(page);
+  // The chain must cover [rec_lsn, crash]: its first entry is the record
+  // that dirtied the page. Anything else means the index is untrustworthy
+  // for this page — fall back to the (slow, always-correct) full scan.
+  bool use_chain = it != restart_chains_.end() && !it->second.empty() &&
+                   it->second.front() <= rec_lsn;
+  if (use_chain) {
+    for (Lsn lsn : it->second) {
+      if (v.page_lsn() >= lsn) continue;  // effect already on the image
+      LogRecord rec;
+      Status s = ctx_->log->ReadRecord(lsn, &rec);
+      if (!s.ok() || !rec.IsRedoable() || rec.page_id != page) {
+        use_chain = false;  // stale / corrupt chain entry
+        break;
+      }
+      ResourceManager* rm = Rm(rec.rm);
+      if (rm == nullptr) {
+        return Status::Corruption("no RM for lazy redo: " + rec.ToString());
+      }
+      ARIES_RETURN_NOT_OK(rm->Redo(rec, v));
+      if (*first_applied == kNullLsn) *first_applied = lsn;
+      v.set_page_lsn(rec.lsn);
+    }
+  }
+  if (!use_chain) {
+    if (ctx_->metrics != nullptr) {
+      ctx_->metrics->lazy_chain_fallbacks.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    }
+    // Page-LSN idempotence makes re-applying records the chain path already
+    // replayed a no-op, so resuming with a scan mid-way is safe.
+    Lsn from = rec_lsn == kNullLsn ? kLogFilePrologue : rec_lsn;
+    LogManager::Reader reader(ctx_->log, from);
+    LogRecord rec;
+    while (true) {
+      Status s = reader.Next(&rec);
+      if (s.IsNotFound()) break;
+      ARIES_RETURN_NOT_OK(s);
+      if (!rec.IsRedoable() || rec.page_id != page) continue;
+      if (v.page_lsn() >= rec.lsn) continue;
+      ResourceManager* rm = Rm(rec.rm);
+      if (rm == nullptr) {
+        return Status::Corruption("no RM for lazy redo: " + rec.ToString());
+      }
+      ARIES_RETURN_NOT_OK(rm->Redo(rec, v));
+      if (*first_applied == kNullLsn) *first_applied = rec.lsn;
+      v.set_page_lsn(rec.lsn);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ariesim

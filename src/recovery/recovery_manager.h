@@ -16,6 +16,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/context.h"
 #include "common/status.h"
+#include "recovery/page_index.h"
 #include "recovery/resource_manager.h"
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
@@ -29,6 +30,10 @@ struct RestartStats {
   uint64_t undo_records = 0;
   uint64_t loser_txns = 0;
   uint64_t torn_pages_repaired = 0;  ///< CRC failures rebuilt from the log
+  /// Instant restart only: DPT pages whose redo was deferred to first fetch
+  /// (the classic redo pass reports redo_records/redo_applied instead).
+  uint64_t lazy_pages_scheduled = 0;
+  bool instant = false;  ///< this restart deferred redo to first fetch
   Lsn redo_start = kNullLsn;
   // Per-pass wall-clock durations (PR 4 observability). `total_us` also
   // covers the trailing checkpoint, so it can exceed the three passes' sum.
@@ -38,13 +43,15 @@ struct RestartStats {
   uint64_t total_us = 0;
 
   std::string ToString() const {
-    return "analysis=" + std::to_string(analysis_records) + " recs/" +
+    return std::string(instant ? "instant " : "") + "analysis=" +
+           std::to_string(analysis_records) + " recs/" +
            std::to_string(analysis_us) + "us redo=" +
            std::to_string(redo_applied) + "/" + std::to_string(redo_records) +
            " applied/" + std::to_string(redo_us) + "us undo=" +
            std::to_string(undo_records) + " recs/" + std::to_string(undo_us) +
            "us losers=" + std::to_string(loser_txns) +
            " torn_repaired=" + std::to_string(torn_pages_repaired) +
+           " lazy_scheduled=" + std::to_string(lazy_pages_scheduled) +
            " total=" + std::to_string(total_us) + "us";
   }
 };
@@ -63,6 +70,32 @@ class RecoveryManager {
 
   /// Full restart: analysis, redo, undo, then a checkpoint.
   Status Restart(RestartStats* stats = nullptr);
+
+  /// Instant restart (on-demand per-page recovery): analysis rebuilds the
+  /// transaction table, DPT and per-page LSN chains; every DPT page is
+  /// marked pending-redo in the buffer pool (so its first fetch replays its
+  /// chain via LazyRedoPage); losers are undone eagerly — their page fetches
+  /// go through the same lazy path — and a checkpoint whose DPT includes the
+  /// still-pending pages makes a crash *during* instant restart recoverable.
+  /// Returns with the database ready for new transactions; the redo debt is
+  /// drained by first-touch traffic and/or the Database-level sweeper.
+  Status RestartInstant(RestartStats* stats = nullptr);
+
+  /// On-demand single-page redo for instant restart: bring the just-read
+  /// disk image in `buf` (page_size bytes, CRC already verified) up to date
+  /// by replaying `page`'s LSN chain captured at restart, honoring the
+  /// page_LSN idempotence check per entry. `rec_lsn` is the DPT recLSN the
+  /// page was scheduled with; if the chain is missing or starts above it the
+  /// replay falls back to a full log scan (counted by lazy_chain_fallbacks).
+  /// `*first_applied` returns the first LSN actually applied (kNullLsn if
+  /// the image was already current) so the caller can mark the frame dirty
+  /// with the right recLSN. Thread-safe and buffer-pool-free; runs inside
+  /// the fetch-miss quarantine like RebuildPageImage.
+  Status LazyRedoPage(PageId page, char* buf, Lsn rec_lsn, Lsn* first_applied);
+
+  /// Live per-page log index (maintained from the WAL append observer,
+  /// persisted at checkpoints, reconstructed by analysis).
+  PageLogIndex* page_index() { return &page_index_; }
 
   /// Fuzzy checkpoint: begin_chkpt, DPT + TT snapshot, end_chkpt, master.
   Status TakeCheckpoint();
@@ -112,6 +145,7 @@ class RecoveryManager {
     };
     std::unordered_map<TxnId, TxnInfo> txns;
     std::unordered_map<PageId, Lsn> dpt;  // page -> recLSN
+    PageLsnChains chains;                 // page -> redoable-LSN chain
     Lsn end_of_log = kNullLsn;
   };
 
@@ -126,6 +160,11 @@ class RecoveryManager {
 
   EngineContext* ctx_;
   ResourceManager* rms_[8] = {nullptr};
+  PageLogIndex page_index_;
+  /// Chains frozen at the end of instant-restart analysis; immutable until
+  /// the next restart, so LazyRedoPage can read them without locking while
+  /// page_index_ keeps evolving under new traffic.
+  PageLsnChains restart_chains_;
   int test_stop_undo_after_ = -1;
 };
 

@@ -38,6 +38,17 @@ inline void PutFixed32(std::string* dst, uint32_t v) {
 inline void PutFixed64(std::string* dst, uint64_t v) {
   dst->append(reinterpret_cast<const char*>(&v), 8);
 }
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Largest encoded size of a varint64.
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
 inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
   PutFixed32(dst, static_cast<uint32_t>(s.size()));
   dst->append(s.data(), s.size());
@@ -58,6 +69,21 @@ class BufferReader {
   uint16_t GetFixed16() { return GetT<uint16_t>(); }
   uint32_t GetFixed32() { return GetT<uint32_t>(); }
   uint64_t GetFixed64() { return GetT<uint64_t>(); }
+
+  uint64_t GetVarint64() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) {
+        ok_ = false;
+        return 0;
+      }
+      uint8_t b = static_cast<uint8_t>(*p_++);
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok_ = false;  // over-long encoding
+    return 0;
+  }
 
   std::string_view GetLengthPrefixed() {
     uint32_t n = GetFixed32();

@@ -49,6 +49,18 @@ Status LogManager::Open() {
       return Status::Corruption("bad log magic");
     }
     Lsn pos = kLogFilePrologue;
+    // Every byte below the master checkpoint LSN was durably flushed
+    // before the master record was written, so the end-of-log walk can
+    // start there: open cost is bounded by the checkpoint interval, not
+    // total log size. A torn crash can still truncate the file back into
+    // (or below) the checkpoint record — if the record at the master LSN
+    // doesn't parse, fall back to the full walk from the prologue.
+    Result<Lsn> master = ReadMaster();
+    if (master.ok() && master.value() > kLogFilePrologue &&
+        static_cast<off_t>(master.value()) < st.st_size) {
+      LogRecord probe;
+      if (ReadFromFile(master.value(), &probe).ok()) pos = master.value();
+    }
     LogRecord rec;
     while (true) {
       Status s = ReadFromFile(pos, &rec);

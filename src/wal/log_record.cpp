@@ -56,7 +56,8 @@ Status LogRecord::Parse(std::string_view data, LogRecord* out) {
 
 std::string LogRecord::ToString() const {
   static const char* kTypeNames[] = {"invalid", "update", "clr",  "commit",
-                                     "abort",   "end",    "bchk", "echk"};
+                                     "abort",   "end",    "bchk", "echk",
+                                     "pgidx"};
   std::string s = "[lsn=" + std::to_string(lsn) +
                   " type=" + kTypeNames[static_cast<int>(type)] +
                   " txn=" + std::to_string(txn_id) +

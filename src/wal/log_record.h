@@ -26,6 +26,12 @@ enum class LogType : uint8_t {
   kEnd = 5,              ///< transaction fully finished
   kBeginCheckpoint = 6,
   kEndCheckpoint = 7,
+  /// Persisted page-log-index chunk (PR 8, instant restart): part of the
+  /// fuzzy-checkpoint payload, written between the begin- and end-checkpoint
+  /// records. Payload: u32 n_pages, then per page u32 page_id, u32 n_lsns,
+  /// n_lsns x u64 ascending LSNs of that page's redoable records. A large
+  /// index is split across several kPageIndex records; analysis merges them.
+  kPageIndex = 8,
 };
 
 /// Resource-manager ids; recovery dispatches redo/undo through these.

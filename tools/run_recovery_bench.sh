@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build and run the restart-recovery sweep, emitting BENCH_recovery.json at
+# the repo root: log size x {classic, instant} over copies of the same crash
+# image. Each row carries time-to-first-commit (ttfc_us), the Open wall time,
+# and the lazy-replay counters (lazy_pages_scheduled, pages_recovered_lazily,
+# lazy_chain_fallbacks, drain_us). The headline claim to eyeball: classic
+# ttfc_us grows with rows while instant ttfc_us stays near-constant. See
+# docs/ARCHITECTURE.md "Instant restart" and ISSUE/PR 8.
+#
+# Usage: tools/run_recovery_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_recovery.json}"
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_recovery >/dev/null
+./build/bench/bench_recovery --recovery_json="${OUT}"
+echo "done: ${OUT}"

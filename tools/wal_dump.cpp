@@ -6,6 +6,7 @@
 #include "btree/node.h"
 #include "common/metrics.h"
 #include "record/heap_page.h"
+#include "recovery/page_index.h"
 #include "wal/log_manager.h"
 
 using namespace ariesim;
@@ -40,9 +41,39 @@ int main(int argc, char** argv) {
   LogManager::Reader reader(&lm, kLogFilePrologue);
   LogRecord rec;
   while (reader.Next(&rec).ok()) {
-    if (filter != kInvalidPageId && rec.page_id != filter) continue;
+    // Page-index chunks carry no page_id of their own; with a filter active
+    // they pass through and print only the filtered page's chain.
+    if (filter != kInvalidPageId && rec.page_id != filter &&
+        rec.type != LogType::kPageIndex) {
+      continue;
+    }
     std::string extra;
-    if (rec.rm == RmId::kHeap) {
+    if (rec.type == LogType::kPageIndex) {
+      // Checkpoint page-index chunk: page -> LSN chain of redoable records
+      // (what instant restart replays on the page's first fetch).
+      PageLsnChains chains;
+      if (PageLogIndex::ParseChunk(rec.payload, &chains).ok()) {
+        size_t entries = 0;
+        for (auto& [p, c] : chains) entries += c.size();
+        extra = " pages=" + std::to_string(chains.size()) +
+                " entries=" + std::to_string(entries) + " {";
+        bool first_page = true;
+        for (auto& [p, c] : chains) {
+          if (filter != kInvalidPageId && p != filter) continue;
+          if (!first_page) extra += ' ';
+          first_page = false;
+          extra += std::to_string(p) + ":[";
+          for (size_t i = 0; i < c.size(); ++i) {
+            if (i > 0) extra += ',';
+            extra += std::to_string(c[i]);
+          }
+          extra += ']';
+        }
+        extra += "}";
+      } else {
+        extra = " <malformed page-index payload>";
+      }
+    } else if (rec.rm == RmId::kHeap) {
       extra = std::string(" heap:") + HeapOpName(rec.op);
       switch (rec.op) {
         case heap::kOpInsert:
