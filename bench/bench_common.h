@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/commit_breakdown.h"
 #include "db/database.h"
 #include "util/random.h"
 
@@ -76,6 +77,81 @@ inline void AttachForensics(benchmark::State& state, Database* db) {
   if (label.empty()) label = "hot none";  // row always carries the table
   if (!cycles.empty()) label += " cycles " + cycles;
   state.SetLabel(label);
+}
+
+/// Commit-breakdown attribution over a measured region (PR 9): reset the
+/// seven commit_seg_* histograms at region start, Take() a snapshot at region
+/// end, and emit per-segment percentiles + share-of-total into the bench row
+/// (JSON sweeps via WriteJsonFields, google-benchmark rows via Attach).
+struct CommitBreakdownSnap {
+  HistogramSnapshot segs[kCommitSegmentCount];
+  uint64_t total_sum_ns = 0;
+
+  static void ResetIn(Database* db) {
+    Metrics& m = db->metrics();
+#define ARIESIM_BENCH_RESET_SEG(name) m.commit_seg_##name.Reset();
+    ARIESIM_COMMIT_SEGMENTS(ARIESIM_BENCH_RESET_SEG)
+#undef ARIESIM_BENCH_RESET_SEG
+  }
+
+  static CommitBreakdownSnap Take(Database* db) {
+    Metrics& m = db->metrics();
+    const LatencyHistogram* hists[kCommitSegmentCount];
+    size_t n = 0;
+#define ARIESIM_BENCH_SEG_PTR(name) hists[n++] = &m.commit_seg_##name;
+    ARIESIM_COMMIT_SEGMENTS(ARIESIM_BENCH_SEG_PTR)
+#undef ARIESIM_BENCH_SEG_PTR
+    CommitBreakdownSnap snap;
+    for (size_t i = 0; i < kCommitSegmentCount; ++i) {
+      snap.segs[i] = hists[i]->Snapshot();
+      snap.total_sum_ns += snap.segs[i].sum_ns;
+    }
+    return snap;
+  }
+
+  double Share(size_t i) const {
+    return total_sum_ns == 0 ? 0.0
+                             : static_cast<double>(segs[i].sum_ns) /
+                                   static_cast<double>(total_sum_ns);
+  }
+
+  /// Sum of the commit-path segments' p50s (log_append..wakeup) — compared
+  /// against commit_latency p50 for the >=90% attribution criterion.
+  double PathP50Us() const {
+    double sum = 0;
+    for (size_t i = static_cast<size_t>(CommitSegment::log_append);
+         i < kCommitSegmentCount; ++i) {
+      sum += segs[i].p50_us();
+    }
+    return sum;
+  }
+
+  /// `, "seg_<name>_p50_us": X, "seg_<name>_p95_us": Y, "seg_<name>_share":
+  /// Z` for every segment — leading comma included so callers splice it
+  /// before the row's closing brace.
+  template <typename Stream>
+  void WriteJsonFields(Stream& out) const {
+    const char* const* names = CommitBreakdown::SegmentNames();
+    for (size_t i = 0; i < kCommitSegmentCount; ++i) {
+      out << ", \"seg_" << names[i] << "_p50_us\": " << segs[i].p50_us()
+          << ", \"seg_" << names[i] << "_p95_us\": " << segs[i].p95_us()
+          << ", \"seg_" << names[i] << "_share\": " << Share(i);
+    }
+  }
+};
+
+/// Attach the breakdown to a google-benchmark row's counters.
+inline void AttachCommitBreakdown(benchmark::State& state, Database* db) {
+  CommitBreakdownSnap snap = CommitBreakdownSnap::Take(db);
+  const char* const* names = CommitBreakdown::SegmentNames();
+  for (size_t i = 0; i < kCommitSegmentCount; ++i) {
+    std::string prefix = std::string("seg_") + names[i];
+    state.counters[prefix + "_p50_us"] =
+        benchmark::Counter(snap.segs[i].p50_us());
+    state.counters[prefix + "_p95_us"] =
+        benchmark::Counter(snap.segs[i].p95_us());
+    state.counters[prefix + "_share"] = benchmark::Counter(snap.Share(i));
+  }
 }
 
 inline Rid BenchRid(uint64_t i) {

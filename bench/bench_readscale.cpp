@@ -59,6 +59,9 @@ struct ReadScaleRow {
   uint64_t page_latches = 0;
   HistogramSnapshot latch_wait;    // Metrics::latch_wait_latency over the run
   HistogramSnapshot read_descent;  // Metrics::read_descent_latency over the run
+  /// Writer-commit attribution over the measured region (PR 9): in this
+  /// fsync-off bench the log_append share should dominate the commit path.
+  benchutil::CommitBreakdownSnap breakdown;
 };
 
 ReadScaleRow RunConfig(int threads, bool optimistic) {
@@ -97,6 +100,7 @@ ReadScaleRow RunConfig(int threads, bool optimistic) {
   // region only (the preload excluded).
   m.latch_wait_latency.Reset();
   m.read_descent_latency.Reset();
+  benchutil::CommitBreakdownSnap::ResetIn(db.get());
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> reads{0}, writes{0};
@@ -151,6 +155,7 @@ ReadScaleRow RunConfig(int threads, bool optimistic) {
   row.page_latches = m.page_latch_acquisitions.load() - latches0;
   row.latch_wait = m.latch_wait_latency.Snapshot();
   row.read_descent = m.read_descent_latency.Snapshot();
+  row.breakdown = benchutil::CommitBreakdownSnap::Take(db.get());
   return row;
 }
 
@@ -197,8 +202,9 @@ int RunSweep(const std::string& json_path) {
         << ", \"latch_wait_p99_us\": " << r.latch_wait.p99_us()
         << ", \"read_descent_count\": " << r.read_descent.count
         << ", \"read_descent_p50_us\": " << r.read_descent.p50_us()
-        << ", \"read_descent_p99_us\": " << r.read_descent.p99_us() << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"read_descent_p99_us\": " << r.read_descent.p99_us();
+    r.breakdown.WriteJsonFields(out);
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "]\n";
   fprintf(stderr, "wrote %s\n", json_path.c_str());

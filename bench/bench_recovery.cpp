@@ -260,6 +260,9 @@ struct Row {
   uint64_t lazy_recovered = 0;
   uint64_t chain_fallbacks = 0;
   uint64_t drain_us = 0;  ///< instant only: explicit full drain after TTFC
+  /// Per-segment attribution of the first commit after restart — shows
+  /// whether the TTFC tail is log-append or durability-wait (PR 9).
+  benchutil::CommitBreakdownSnap breakdown;
 };
 
 uint64_t NowUs() {
@@ -294,10 +297,12 @@ Row Measure(const std::string& dir, int rows, bool instant) {
   auto db = std::move(Database::Open(dir, o).value());
   r.open_us = NowUs() - t0;
   Table* table = db->GetTable("t");
+  benchutil::CommitBreakdownSnap::ResetIn(db.get());  // restart's own commits out
   Transaction* txn = db->Begin();
   (void)table->Insert(txn, {"zzz-first-commit", "v"});
   (void)db->Commit(txn);
   r.ttfc_us = NowUs() - t0;
+  r.breakdown = benchutil::CommitBreakdownSnap::Take(db.get());
   const RecoveryStats& rs = db->restart_stats();
   r.redo_applied = rs.redo_applied;
   r.lazy_scheduled = rs.lazy_pages_scheduled;
@@ -345,8 +350,9 @@ int RunRecoverySweep(const std::string& json_path) {
         << ", \"lazy_pages_scheduled\": " << r.lazy_scheduled
         << ", \"pages_recovered_lazily\": " << r.lazy_recovered
         << ", \"lazy_chain_fallbacks\": " << r.chain_fallbacks
-        << ", \"drain_us\": " << r.drain_us << "}"
-        << (i + 1 < out_rows.size() ? "," : "") << "\n";
+        << ", \"drain_us\": " << r.drain_us;
+    r.breakdown.WriteJsonFields(out);
+    out << "}" << (i + 1 < out_rows.size() ? "," : "") << "\n";
   }
   out << "]\n";
   fprintf(stderr, "wrote %s\n", json_path.c_str());

@@ -44,6 +44,7 @@ void RunMix(benchmark::State& state, LockingProtocolKind proto) {
   for (auto _ : state) {
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> commits{0}, deadlocks{0};
+    benchutil::CommitBreakdownSnap::ResetIn(db.get());
     std::vector<std::thread> ts;
     for (int t = 0; t < threads; ++t) {
       ts.emplace_back([&, t] {
@@ -96,6 +97,7 @@ void RunMix(benchmark::State& state, LockingProtocolKind proto) {
     state.counters["lock_waits"] = benchmark::Counter(
         static_cast<double>(db->metrics().lock_waits.load()));
     benchutil::AttachForensics(state, db.get());
+    benchutil::AttachCommitBreakdown(state, db.get());
   }
 }
 
@@ -151,6 +153,7 @@ void RunHotValues(benchmark::State& state, LockingProtocolKind proto) {
   for (auto _ : state) {
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> commits{0}, deadlocks{0};
+    benchutil::CommitBreakdownSnap::ResetIn(db.get());
     std::atomic<uint64_t> next_row{100000};
     std::vector<std::thread> ts;
     for (int t = 0; t < threads; ++t) {
@@ -194,6 +197,7 @@ void RunHotValues(benchmark::State& state, LockingProtocolKind proto) {
     state.counters["deadlocks_per_sec"] =
         benchmark::Counter(static_cast<double>(deadlocks.load()) / secs);
     benchutil::AttachForensics(state, db.get());
+    benchutil::AttachCommitBreakdown(state, db.get());
   }
 }
 
@@ -243,6 +247,7 @@ struct CommitRow {
   uint64_t gc_txns;
   HistogramSnapshot commit_lat;  // Metrics::commit_latency over the run
   HistogramSnapshot fsync_lat;   // Metrics::log_flush_latency over the run
+  benchutil::CommitBreakdownSnap breakdown;  // per-segment attribution
 };
 
 CommitRow RunCommitConfig(int threads, const std::string& mode,
@@ -268,6 +273,7 @@ CommitRow RunCommitConfig(int threads, const std::string& mode,
   // percentiles cover only the measured region (setup commits excluded).
   m.commit_latency.Reset();
   m.log_flush_latency.Reset();
+  benchutil::CommitBreakdownSnap::ResetIn(db.get());
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> commits{0};
@@ -307,6 +313,7 @@ CommitRow RunCommitConfig(int threads, const std::string& mode,
   row.gc_txns = m.group_commit_txns.load() - gctxns0;
   row.commit_lat = m.commit_latency.Snapshot();
   row.fsync_lat = m.log_flush_latency.Snapshot();
+  row.breakdown = benchutil::CommitBreakdownSnap::Take(db.get());
   return row;
 }
 
@@ -318,11 +325,16 @@ int RunCommitSweep(const std::string& json_path) {
       double cps = static_cast<double>(r.commits) / r.seconds;
       fprintf(stderr,
               "commit sweep: threads=%d mode=%-9s commits/s=%10.0f "
-              "flushes=%llu commit p50/p99=%.0f/%.0fus fsync p50/p99=%.0f/%.0fus\n",
+              "flushes=%llu commit p50/p99=%.0f/%.0fus fsync p50/p99=%.0f/%.0fus "
+              "path_p50=%.0fus (%.0f%% of commit p50)\n",
               r.threads, r.mode.c_str(), cps,
               static_cast<unsigned long long>(r.log_flushes),
               r.commit_lat.p50_us(), r.commit_lat.p99_us(),
-              r.fsync_lat.p50_us(), r.fsync_lat.p99_us());
+              r.fsync_lat.p50_us(), r.fsync_lat.p99_us(),
+              r.breakdown.PathP50Us(),
+              r.commit_lat.p50_us() > 0
+                  ? 100.0 * r.breakdown.PathP50Us() / r.commit_lat.p50_us()
+                  : 0.0);
       rows.push_back(std::move(r));
     }
   }
@@ -351,8 +363,14 @@ int RunCommitSweep(const std::string& json_path) {
         << ", \"commit_max_us\": " << r.commit_lat.max_us()
         << ", \"fsync_p50_us\": " << r.fsync_lat.p50_us()
         << ", \"fsync_p95_us\": " << r.fsync_lat.p95_us()
-        << ", \"fsync_p99_us\": " << r.fsync_lat.p99_us() << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"fsync_p99_us\": " << r.fsync_lat.p99_us();
+    r.breakdown.WriteJsonFields(out);
+    out << ", \"path_p50_us\": " << r.breakdown.PathP50Us()
+        << ", \"path_p50_share\": "
+        << (r.commit_lat.p50_us() > 0
+                ? r.breakdown.PathP50Us() / r.commit_lat.p50_us()
+                : 0.0)
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "]\n";
   fprintf(stderr, "wrote %s\n", json_path.c_str());

@@ -6,6 +6,7 @@
 
 #include "btree/search_internal.h"
 #include "common/clock.h"
+#include "common/commit_breakdown.h"
 #include "common/trace.h"
 
 namespace ariesim {
@@ -41,6 +42,9 @@ void RestartBackoff(int attempt, Metrics* metrics) {
   if (metrics != nullptr) {
     metrics->btree_backoffs.fetch_add(1, std::memory_order_relaxed);
   }
+  // The backoff sleep is OLC-restart wait from the transaction's point of
+  // view: charge it to the latch_wait commit-breakdown segment.
+  ScopedCommitSegment seg(CommitSegment::latch_wait);
   std::this_thread::sleep_for(std::chrono::microseconds(1 + rng % cap_us));
 }
 
@@ -121,10 +125,11 @@ void BTree::LockTreeExclusiveCounted() {
     const uint64_t wait_start_ns = MonotonicNowNs();
     ARIES_TRACE_SPAN(span, "bt.tree_latch_wait", TraceCat::kBtree, index_id_);
     tree_latch_.LockExclusive();
+    const uint64_t waited_ns = MonotonicNowNs() - wait_start_ns;
     if (ctx_->metrics != nullptr) {
-      ctx_->metrics->latch_wait_latency.Record(MonotonicNowNs() -
-                                               wait_start_ns);
+      ctx_->metrics->latch_wait_latency.Record(waited_ns);
     }
+    AddCommitSegment(CommitSegment::latch_wait, waited_ns);
   }
   if (ctx_->metrics != nullptr) {
     if (waited) {

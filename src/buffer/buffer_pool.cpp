@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/commit_breakdown.h"
 #include "common/trace.h"
 #include "util/crc32c.h"
 
@@ -322,6 +323,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, LatchMode mode) {
     if (metrics_ != nullptr) {
       metrics_->latch_wait_latency.Record(waited_ns);
     }
+    AddCommitSegment(CommitSegment::latch_wait, waited_ns);
     latch_contention_.RecordWait(id, waited_ns);
   }
   if (metrics_ != nullptr) {

@@ -131,6 +131,18 @@ struct Options {
   /// paths then carry no watchdog cost beyond one branch per 5 ms poll.
   uint32_t lock_watchdog_threshold_ms = 0;
 
+  /// Time-series metrics sampler (docs/OBSERVABILITY.md, "Time-series
+  /// sampler"): when > 0, the Database spawns a background MetricsSampler
+  /// that snapshots every counter and histogram at this interval, keeps a
+  /// bounded in-memory ring of samples, and — if metrics_log_path is set —
+  /// appends one JSONL line per sample with deltas and per-second rates.
+  /// 0 (default) spawns no thread and allocates nothing.
+  uint32_t metrics_sample_interval_ms = 0;
+
+  /// Destination file for the sampler's JSONL stream (empty = ring only).
+  /// Ignored while metrics_sample_interval_ms == 0.
+  std::string metrics_log_path;
+
   /// Simulated device latency added to every page read/write, in
   /// microseconds (0 = none). The benchmark substrate knob: on a machine
   /// whose files sit in the OS page cache, real I/O latency vanishes and

@@ -109,6 +109,15 @@ class LatencyHistogram {
     return s;
   }
 
+  /// Relaxed copy of all kNumBuckets per-bucket counts into `out` (sized by
+  /// the caller). Feeds the OpenMetrics bucket exposition; same fuzziness
+  /// contract as Snapshot().
+  void CopyBuckets(uint64_t* out) const {
+    for (size_t i = 0; i < kNumBuckets; i++) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);

@@ -1,0 +1,184 @@
+// Out-of-line Metrics emitters (PR 9): the OpenMetrics/Prometheus text
+// exposition and the commit_breakdown section of Database::Stats(). Kept out
+// of the header so the bucket-walking and float formatting compile once.
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+#include "common/commit_breakdown.h"
+
+namespace ariesim {
+
+namespace {
+
+// Shortest-round-trip-ish float for OpenMetrics sample values ("1.024e-06").
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Fixed 3-decimal microseconds, matching AppendHistogramJson's style.
+std::string FormatUs(double v) {
+  uint64_t milli_us = static_cast<uint64_t>(v * 1000.0 + 0.5);
+  std::string r = std::to_string(milli_us / 1000);
+  uint64_t frac = milli_us % 1000;
+  r += '.';
+  if (frac < 100) r += '0';
+  if (frac < 10) r += '0';
+  r += std::to_string(frac);
+  return r;
+}
+
+// Fixed 4-decimal ratio in [0,1] for share-of-total fields.
+std::string FormatShare(double v) {
+  if (v < 0) v = 0;
+  uint64_t e4 = static_cast<uint64_t>(v * 10000.0 + 0.5);
+  std::string r = std::to_string(e4 / 10000);
+  uint64_t frac = e4 % 10000;
+  r += '.';
+  if (frac < 1000) r += '0';
+  if (frac < 100) r += '0';
+  if (frac < 10) r += '0';
+  r += std::to_string(frac);
+  return r;
+}
+
+// The one counter that is semantically a gauge (last observed value, not a
+// monotonic count): flagged so the exposition doesn't lie about its TYPE.
+bool IsGaugeCounter(const char* name) {
+  return std::string_view(name) == "instant_restart_open_us";
+}
+
+void AppendHistogramOpenMetrics(const char* name, const LatencyHistogram& h,
+                                std::string* out) {
+  std::string family = "ariesim_";
+  family += name;
+  family += "_seconds";
+  *out += "# TYPE " + family + " histogram\n";
+  *out += "# UNIT " + family + " seconds\n";
+  *out += "# HELP " + family + " Latency histogram " + name +
+          " (see docs/METRICS.md).\n";
+  uint64_t buckets[LatencyHistogram::kNumBuckets];
+  h.CopyBuckets(buckets);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; i++) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    // `le` is the bucket's inclusive upper bound: the next bucket's lower
+    // bound, in seconds. The last bucket's bound saturates into +Inf below.
+    if (i + 1 < LatencyHistogram::kNumBuckets) {
+      double le_s =
+          static_cast<double>(LatencyHistogram::BucketLowerBound(i + 1)) /
+          1e9;
+      *out += family + "_bucket{le=\"" + FormatDouble(le_s) + "\"} " +
+              std::to_string(cumulative) + "\n";
+    }
+  }
+  uint64_t total = h.count();
+  // Snapshot fuzziness under concurrent writers: never let the +Inf bucket
+  // fall below the per-bucket cumulative sum we just emitted.
+  if (total < cumulative) total = cumulative;
+  *out += family + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+  HistogramSnapshot s = h.Snapshot();
+  *out += family + "_sum " +
+          FormatDouble(static_cast<double>(s.sum_ns) / 1e9) + "\n";
+  *out += family + "_count " + std::to_string(total) + "\n";
+}
+
+}  // namespace
+
+std::string Metrics::ToOpenMetrics() const {
+  std::string out;
+  out.reserve(16384);
+  const char* const* counter_names = CounterNames();
+#define ARIESIM_COUNTER_PTR(n) &n,
+  const std::atomic<uint64_t>* const counters[kCounterCount] = {
+      ARIESIM_METRICS_COUNTERS(ARIESIM_COUNTER_PTR)};
+#undef ARIESIM_COUNTER_PTR
+  for (size_t i = 0; i < kCounterCount; i++) {
+    const char* name = counter_names[i];
+    std::string family = "ariesim_";
+    family += name;
+    uint64_t value = counters[i]->load(std::memory_order_relaxed);
+    if (IsGaugeCounter(name)) {
+      out += "# TYPE " + family + " gauge\n";
+      out += "# HELP " + family + " Gauge " + name +
+             " (see docs/METRICS.md).\n";
+      out += family + " " + std::to_string(value) + "\n";
+    } else {
+      out += "# TYPE " + family + " counter\n";
+      out += "# HELP " + family + " Total " + name +
+             " events (see docs/METRICS.md).\n";
+      out += family + "_total " + std::to_string(value) + "\n";
+    }
+  }
+#define ARIESIM_OPENMETRICS_HISTOGRAM(n) \
+  AppendHistogramOpenMetrics(#n, n, &out);
+  ARIESIM_METRICS_HISTOGRAMS(ARIESIM_OPENMETRICS_HISTOGRAM)
+#undef ARIESIM_OPENMETRICS_HISTOGRAM
+  out += "# EOF\n";
+  return out;
+}
+
+std::string Metrics::CommitBreakdownJson() const {
+  // Segment histograms in ARIESIM_COMMIT_SEGMENTS order. The name pairing
+  // (commit_seg_<segment>) is verified by commit_breakdown_test.cpp.
+#define ARIESIM_SEGMENT_HIST(name) &commit_seg_##name,
+  const LatencyHistogram* const segs[kCommitSegmentCount] = {
+      ARIESIM_COMMIT_SEGMENTS(ARIESIM_SEGMENT_HIST)};
+#undef ARIESIM_SEGMENT_HIST
+  HistogramSnapshot snaps[kCommitSegmentCount];
+  uint64_t total_sum_ns = 0;
+  for (size_t i = 0; i < kCommitSegmentCount; i++) {
+    snaps[i] = segs[i]->Snapshot();
+    total_sum_ns += snaps[i].sum_ns;
+  }
+  const char* const* names = CommitBreakdown::SegmentNames();
+  std::string out = "{\"segments\":{";
+  for (size_t i = 0; i < kCommitSegmentCount; i++) {
+    if (i > 0) out += ',';
+    const HistogramSnapshot& s = snaps[i];
+    out += "\"";
+    out += names[i];
+    out += "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"p50_us\":" + FormatUs(s.p50_us());
+    out += ",\"p95_us\":" + FormatUs(s.p95_us());
+    out += ",\"mean_us\":" + FormatUs(s.mean_us());
+    out += ",\"sum_ms\":" + FormatUs(s.sum_ns / 1e6);
+    out += ",\"share\":" +
+           FormatShare(total_sum_ns == 0
+                           ? 0.0
+                           : static_cast<double>(s.sum_ns) /
+                                 static_cast<double>(total_sum_ns));
+    out += "}";
+  }
+  // Accounting check against the end-to-end commit_latency histogram: the
+  // commit-path segments (log_append..wakeup) should explain >=90% of a
+  // fsync-bound commit's latency; lock/latch waits accrue before Commit()
+  // and are reported but excluded from the path sum.
+  HistogramSnapshot commit = commit_latency.Snapshot();
+  double path_p50_us = 0, path_mean_us = 0;
+  for (size_t i = static_cast<size_t>(CommitSegment::log_append);
+       i < kCommitSegmentCount; i++) {
+    path_p50_us += snaps[i].p50_us();
+    path_mean_us += snaps[i].mean_us();
+  }
+  out += "},\"accounted\":{\"commit_count\":" + std::to_string(commit.count);
+  out += ",\"commit_p50_us\":" + FormatUs(commit.p50_us());
+  out += ",\"commit_mean_us\":" + FormatUs(commit.mean_us());
+  out += ",\"path_p50_us_sum\":" + FormatUs(path_p50_us);
+  out += ",\"path_mean_us_sum\":" + FormatUs(path_mean_us);
+  out += ",\"p50_share\":" +
+         FormatShare(commit.p50_us() == 0 ? 0.0
+                                          : path_p50_us / commit.p50_us());
+  out += ",\"mean_share\":" +
+         FormatShare(commit.mean_us() == 0 ? 0.0
+                                           : path_mean_us / commit.mean_us());
+  out += "}}";
+  return out;
+}
+
+}  // namespace ariesim

@@ -86,7 +86,19 @@ namespace ariesim {
   X(deadlock_victim_wait)  /* victim's wait age when the cycle was cut */ \
   X(tree_latch_hold_latency) /* tree-latch X hold time (SMO serializer) */\
   X(read_descent_latency)  /* one read-path root->leaf descent (any mode) */\
-  X(smo_latency)           /* one complete SMO: split or page delete */
+  X(smo_latency)           /* one complete SMO: split or page delete */    \
+  /* Commit critical-path attribution (PR 9). One entry per segment of    \
+     ARIESIM_COMMIT_SEGMENTS (common/commit_breakdown.h) — mirrored by    \
+     hand because nested X-macros don't rescan the inner X; the pairing   \
+     is enforced by commit_breakdown_test.cpp. Recorded once per commit   \
+     from the transaction's CommitBreakdown. */                           \
+  X(commit_seg_lock_wait)                                                 \
+  X(commit_seg_latch_wait)                                                \
+  X(commit_seg_log_append)                                                \
+  X(commit_seg_queue_wait)                                                \
+  X(commit_seg_batch_write)                                               \
+  X(commit_seg_fsync)                                                     \
+  X(commit_seg_wakeup)
 
 struct Metrics {
 #define ARIESIM_DECLARE_COUNTER(name) std::atomic<uint64_t> name{0};
@@ -186,6 +198,16 @@ struct Metrics {
     out += "}}";
     return out;
   }
+
+  /// Prometheus/OpenMetrics text exposition of every counter and histogram
+  /// (defined in metrics.cpp; linted by tools/check_openmetrics.sh).
+  std::string ToOpenMetrics() const;
+
+  /// The `commit_breakdown` section of Database::Stats(): per-segment
+  /// count/p50/p95/mean/sum plus share-of-total, and an `accounted` block
+  /// comparing the commit-path segment sum against commit_latency (the
+  /// >=90% attribution criterion). Defined in metrics.cpp.
+  std::string CommitBreakdownJson() const;
 
   static void AppendHistogramJson(const HistogramSnapshot& s,
                                   std::string* out) {

@@ -1,0 +1,183 @@
+#include "common/metrics_sampler.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace ariesim {
+
+MetricsSampler::MetricsSampler(const Metrics* metrics, uint32_t interval_ms,
+                               std::string jsonl_path, size_t ring_capacity)
+    : metrics_(metrics),
+      interval_ms_(interval_ms),
+      jsonl_path_(std::move(jsonl_path)),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+MetricsSampler::~MetricsSampler() {
+  Stop();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void MetricsSampler::Start() {
+  if (interval_ms_ == 0) return;  // manual mode: no thread, ever
+  std::lock_guard<std::mutex> lk(run_mu_);
+  if (run_flag_) return;
+  run_flag_ = true;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    if (!run_flag_ && !thread_.joinable()) return;
+    run_flag_ = false;
+    run_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void MetricsSampler::Loop() {
+  // First sample immediately: the stream starts with the state at Start(),
+  // not one interval later.
+  SampleOnce();
+  std::unique_lock<std::mutex> lk(run_mu_);
+  while (run_flag_) {
+    run_cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                     [&] { return !run_flag_; });
+    if (!run_flag_) break;
+    lk.unlock();
+    SampleOnce();
+    lk.lock();
+  }
+  lk.unlock();
+  // Final sample: the stream always ends with the run's endpoint state.
+  SampleOnce();
+}
+
+MetricsSample MetricsSampler::SampleOnce() {
+  MetricsSample s;
+  s.t_ns = MonotonicNowNs();
+  s.counters.reserve(Metrics::kCounterCount);
+  s.hists.reserve(Metrics::kHistogramCount);
+#define ARIESIM_SAMPLE_COUNTER(n) \
+  s.counters.push_back(metrics_->n.load(std::memory_order_relaxed));
+  ARIESIM_METRICS_COUNTERS(ARIESIM_SAMPLE_COUNTER)
+#undef ARIESIM_SAMPLE_COUNTER
+#define ARIESIM_SAMPLE_HISTOGRAM(n) s.hists.push_back(metrics_->n.Snapshot());
+  ARIESIM_METRICS_HISTOGRAMS(ARIESIM_SAMPLE_HISTOGRAM)
+#undef ARIESIM_SAMPLE_HISTOGRAM
+
+  std::lock_guard<std::mutex> lk(mu_);
+  s.seq = seq_++;
+  std::string line;
+  if (!jsonl_path_.empty()) {
+    line = ToJsonl(s, have_prev_ ? &prev_ : nullptr);
+  }
+  prev_ = s;
+  have_prev_ = true;
+  ring_.push_back(s);
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+  if (!line.empty()) WriteLine(line);
+  return s;
+}
+
+std::vector<MetricsSample> MetricsSampler::RecentSamples(size_t max) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = ring_.size();
+  size_t take = (max == 0 || max > n) ? n : max;
+  return std::vector<MetricsSample>(ring_.end() - take, ring_.end());
+}
+
+size_t MetricsSampler::sample_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+std::string MetricsSampler::ToJsonl(const MetricsSample& s,
+                                    const MetricsSample* prev) {
+  // Rates are per wall-clock second between the two samples; the first
+  // sample (prev == nullptr) reports deltas against zero with rate 0 (no
+  // baseline interval to divide by).
+  const double dt_s =
+      prev == nullptr
+          ? 0.0
+          : static_cast<double>(s.t_ns - prev->t_ns) / 1e9;
+  auto rate = [&](uint64_t delta) -> std::string {
+    if (dt_s <= 0.0) return "0.000";
+    double r = static_cast<double>(delta) / dt_s;
+    uint64_t milli = static_cast<uint64_t>(r * 1000.0 + 0.5);
+    std::string out = std::to_string(milli / 1000);
+    uint64_t frac = milli % 1000;
+    out += '.';
+    if (frac < 100) out += '0';
+    if (frac < 10) out += '0';
+    out += std::to_string(frac);
+    return out;
+  };
+  const char* const* cnames = Metrics::CounterNames();
+  const char* const* hnames = Metrics::HistogramNames();
+  std::string out;
+  out.reserve(4096);
+  out += "{\"seq\":" + std::to_string(s.seq);
+  out += ",\"t_ns\":" + std::to_string(s.t_ns);
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < Metrics::kCounterCount; i++) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += cnames[i];
+    out += "\":" + std::to_string(s.counters[i]);
+  }
+  out += "},\"deltas\":{";
+  for (size_t i = 0; i < Metrics::kCounterCount; i++) {
+    if (i > 0) out += ',';
+    uint64_t prev_v = prev == nullptr ? 0 : prev->counters[i];
+    // Counters are monotonic; a Reset() between samples shows up as a
+    // negative delta, clamped to 0 (and flagged by the replay test).
+    uint64_t delta = s.counters[i] >= prev_v ? s.counters[i] - prev_v : 0;
+    out += '"';
+    out += cnames[i];
+    out += "\":" + std::to_string(delta);
+  }
+  out += "},\"rates_per_s\":{";
+  for (size_t i = 0; i < Metrics::kCounterCount; i++) {
+    if (i > 0) out += ',';
+    uint64_t prev_v = prev == nullptr ? 0 : prev->counters[i];
+    uint64_t delta = s.counters[i] >= prev_v ? s.counters[i] - prev_v : 0;
+    out += '"';
+    out += cnames[i];
+    out += "\":" + rate(delta);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < Metrics::kHistogramCount; i++) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += hnames[i];
+    out += "\":{\"count\":" + std::to_string(s.hists[i].count);
+    out += ",\"sum_ns\":" + std::to_string(s.hists[i].sum_ns);
+    out += ",\"p50_ns\":" + std::to_string(s.hists[i].p50_ns);
+    out += ",\"p95_ns\":" + std::to_string(s.hists[i].p95_ns);
+    out += ",\"p99_ns\":" + std::to_string(s.hists[i].p99_ns);
+    out += ",\"max_ns\":" + std::to_string(s.hists[i].max_ns);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsSampler::WriteLine(const std::string& line) {
+  if (file_ == nullptr) {
+    file_ = std::fopen(jsonl_path_.c_str(), "a");
+    if (file_ == nullptr) return;  // stream silently off; ring still works
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+}  // namespace ariesim

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "common/clock.h"
+#include "common/commit_breakdown.h"
 
 namespace ariesim {
 
@@ -19,6 +20,14 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  Options options) {
   std::unique_ptr<Database> db(new Database(options));
   ARIES_RETURN_NOT_OK(db->DoOpen(dir));
+  // Time-series sampler last, and only on a fully opened engine: with the
+  // default interval of 0 no MetricsSampler exists and no thread is spawned.
+  if (options.metrics_sample_interval_ms > 0) {
+    db->sampler_ = std::make_unique<MetricsSampler>(
+        &db->metrics_, options.metrics_sample_interval_ms,
+        options.metrics_log_path);
+    db->sampler_->Start();
+  }
   return db;
 }
 
@@ -262,6 +271,9 @@ Status Database::LoadObjects() {
 }
 
 Database::~Database() {
+  // Sampler first: it reads metrics_ owned by this object and must not
+  // outlive any component it observes. Takes the run's final sample.
+  if (sampler_ != nullptr) sampler_->Stop();
   StopSweeper();
   if (crashed_) return;
   // Clean shutdown: checkpoint and flush so reopen needs no redo. Pages
@@ -272,7 +284,18 @@ Database::~Database() {
   if (log_ != nullptr) log_->Close();
 }
 
-Transaction* Database::Begin() { return txns_->Begin(); }
+Transaction* Database::Begin() {
+  Transaction* txn = txns_->Begin();
+  // Operation-phase commit-breakdown attribution: reset and bind the
+  // thread's scratch accumulator so lock/latch waits between here and
+  // Commit() are charged to this transaction (best-effort under
+  // interleaving; exact for the common one-txn-per-thread pattern). The
+  // scratch has thread lifetime, so the persistent binding cannot dangle.
+  CommitBreakdown& bd = ThreadCommitBreakdown();
+  bd.Reset();
+  BindCommitBreakdown(&bd);
+  return txn;
+}
 
 Status Database::Commit(Transaction* txn) {
   ARIES_RETURN_NOT_OK(txns_->Commit(txn));
@@ -412,6 +435,8 @@ std::string DatabaseStats::ToJson() const {
   out.reserve(metrics_json.size() + 512);
   out += "{\"metrics\":";
   out += metrics_json;
+  out += ",\"commit_breakdown\":";
+  out += commit_breakdown_json.empty() ? "{}" : commit_breakdown_json;
   out += ",\"health\":\"";
   out += EngineHealthName(health);
   out += "\",\"health_reason\":\"";
@@ -503,6 +528,7 @@ std::string Database::LockForensicsJson() const {
 DatabaseStats Database::Stats() const {
   DatabaseStats s;
   s.metrics_json = metrics_.ToJson();
+  s.commit_breakdown_json = metrics_.CommitBreakdownJson();
   s.locks_json = LockForensicsJson();
   s.health = health_.state();
   s.health_reason = health_.reason();
@@ -533,6 +559,8 @@ Status Database::FlushPage(PageId id) { return pool_->FlushPage(id); }
 Status Database::FlushAllPages() { return pool_->FlushAll(); }
 
 void Database::SimulateCrash() {
+  // Stop the sampler: a "crashed" engine should produce no further samples.
+  if (sampler_ != nullptr) sampler_->Stop();
   // The sweeper first: it drives FetchPage traffic (log appends via
   // checkpoint) that must not race the discard below.
   StopSweeper();

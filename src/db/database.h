@@ -17,6 +17,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/context.h"
 #include "common/health.h"
+#include "common/metrics_sampler.h"
 #include "common/trace.h"
 #include "db/catalog.h"
 #include "db/table.h"
@@ -36,6 +37,10 @@ namespace ariesim {
 /// prints and what benches archive.
 struct DatabaseStats {
   std::string metrics_json;  ///< Metrics::ToJson() — counters + histograms
+  /// Commit critical-path attribution (PR 9): per-segment latency stats with
+  /// share-of-total plus the accounting check against commit_latency. Schema
+  /// in docs/OBSERVABILITY.md "Commit critical-path attribution".
+  std::string commit_breakdown_json;
   /// Concurrency forensics (PR 5): lock-table snapshot, postmortem ring,
   /// contention tables, cycle-length distribution, watchdog state. Schema in
   /// docs/OBSERVABILITY.md.
@@ -135,6 +140,11 @@ class Database {
   /// when built with -DARIESIM_TRACE=OFF.
   Status DumpTrace(const std::string& path);
 
+  /// The background time-series sampler, or nullptr when
+  /// Options::metrics_sample_interval_ms == 0 (the default — no thread is
+  /// ever spawned then). See docs/OBSERVABILITY.md "Time-series sampler".
+  MetricsSampler* sampler() { return sampler_.get(); }
+
   EngineContext* ctx() { return &ctx_; }
   const Catalog* catalog() const { return catalog_.get(); }
   Metrics& metrics() { return metrics_; }
@@ -186,6 +196,7 @@ class Database {
   std::unique_ptr<RecordManager> records_;
   std::unique_ptr<BtreeResourceManager> btree_rm_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<MetricsSampler> sampler_;  // only when sampling is enabled
   RestartStats restart_stats_;
 
   /// Background drain of the instant-restart redo debt (cold pages would

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/clock.h"
+#include "common/commit_breakdown.h"
 #include "common/histogram.h"
 #include "common/trace.h"
 
@@ -302,10 +303,12 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
           metrics_->lock_waits.fetch_add(1, std::memory_order_relaxed);
         }
         mine->wait_start_ns = MonotonicNowNs();
-        // Wait time (granted or deadlock-aborted) lands in the histogram and
-        // as a trace span when both RAII objects leave this block.
+        // Wait time (granted or deadlock-aborted) lands in the histogram,
+        // the bound transaction's commit-breakdown lock_wait segment, and a
+        // trace span when the RAII objects leave this block.
         ScopedLatency wait_timer(
             metrics_ != nullptr ? &metrics_->lock_wait_latency : nullptr);
+        ScopedCommitSegment wait_seg(CommitSegment::lock_wait);
         ARIES_TRACE_SPAN(wait_span, "lock.wait", TraceCat::kLock, txn);
         while (mine->converting) {
           std::vector<TxnId> cycle;
@@ -384,6 +387,7 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
         mine->wait_start_ns = MonotonicNowNs();
         ScopedLatency wait_timer(
             metrics_ != nullptr ? &metrics_->lock_wait_latency : nullptr);
+        ScopedCommitSegment wait_seg(CommitSegment::lock_wait);
         ARIES_TRACE_SPAN(wait_span, "lock.wait", TraceCat::kLock, txn);
         while (!mine->granted) {
           std::vector<TxnId> cycle;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/commit_breakdown.h"
 #include "common/types.h"
 
 namespace ariesim {
@@ -66,12 +67,20 @@ class Transaction {
   }
   bool InNta() const { return !nta_stack_.empty(); }
 
+  /// Commit critical-path attribution accumulator (PR 9). Written through
+  /// the owning thread's TLS binding (common/commit_breakdown.h) while the
+  /// transaction runs; harvested into the commit_seg_* histograms by
+  /// TransactionManager::Commit. Only mutated by the owning thread.
+  CommitBreakdown& breakdown() { return breakdown_; }
+  const CommitBreakdown& breakdown() const { return breakdown_; }
+
  private:
   TxnId id_;
   std::atomic<TxnState> state_{TxnState::kActive};
   std::atomic<Lsn> last_lsn_{kNullLsn};
   std::atomic<Lsn> undo_next_lsn_{kNullLsn};
   std::vector<Lsn> nta_stack_;
+  CommitBreakdown breakdown_;
 };
 
 }  // namespace ariesim

@@ -1,5 +1,7 @@
 #include "txn/transaction_manager.h"
 
+#include "common/clock.h"
+#include "common/commit_breakdown.h"
 #include "common/histogram.h"
 #include "common/trace.h"
 #include "recovery/recovery_manager.h"
@@ -59,16 +61,34 @@ Status TransactionManager::Commit(Transaction* txn) {
   ScopedLatency timer(metrics_ != nullptr ? &metrics_->commit_latency
                                           : nullptr);
   ARIES_TRACE_SPAN(span, "txn.commit", TraceCat::kTxn, txn->id());
+  // Adopt the thread's operation-phase wait accumulation (best-effort: it is
+  // exact for the common one-transaction-per-thread pattern), then rebind
+  // the attribution TLS to the committing transaction so the commit-path
+  // segments land on this breakdown exactly (common/commit_breakdown.h).
+  if (CommitBreakdown* scratch = CurrentCommitBreakdown()) {
+    if (scratch != &txn->breakdown()) {
+      txn->breakdown() = *scratch;
+      scratch->Reset();
+    }
+  }
+  ScopedCommitBreakdownBinding bind(&txn->breakdown());
   LogRecord commit;
   commit.type = LogType::kCommit;
-  ARIES_ASSIGN_OR_RETURN(Lsn lsn, AppendTxnLog(txn, &commit));
+  const uint64_t append_start_ns = MonotonicNowNs();
+  Result<Lsn> lsn_res = AppendTxnLog(txn, &commit);
+  AddCommitSegment(CommitSegment::log_append,
+                   MonotonicNowNs() - append_start_ns);
+  ARIES_RETURN_NOT_OK(lsn_res.status());
+  Lsn lsn = lsn_res.value();
   // Commit rule: force the log up to and including the commit record.
   // CommitFlush coalesces with concurrent committers when group commit is
   // on; a returned error means the commit record is NOT durable and the
   // transaction must not be acknowledged (locks stay held — after a crash
   // the transaction either survives whole or is rolled back by restart).
   ARIES_RETURN_NOT_OK(log_->CommitFlush(lsn + commit.SerializedSize()));
-  return EndTransaction(txn, TxnState::kCommitted);
+  ARIES_RETURN_NOT_OK(EndTransaction(txn, TxnState::kCommitted));
+  HarvestBreakdown(txn);
+  return Status::OK();
 }
 
 Status TransactionManager::CommitAsync(Transaction* txn) {
@@ -77,9 +97,21 @@ Status TransactionManager::CommitAsync(Transaction* txn) {
   ScopedLatency timer(metrics_ != nullptr ? &metrics_->commit_latency
                                           : nullptr);
   ARIES_TRACE_SPAN(span, "txn.commit_async", TraceCat::kTxn, txn->id());
+  if (CommitBreakdown* scratch = CurrentCommitBreakdown()) {
+    if (scratch != &txn->breakdown()) {
+      txn->breakdown() = *scratch;
+      scratch->Reset();
+    }
+  }
+  ScopedCommitBreakdownBinding bind(&txn->breakdown());
   LogRecord commit;
   commit.type = LogType::kCommit;
-  ARIES_ASSIGN_OR_RETURN(Lsn lsn, AppendTxnLog(txn, &commit));
+  const uint64_t append_start_ns = MonotonicNowNs();
+  Result<Lsn> lsn_res = AppendTxnLog(txn, &commit);
+  AddCommitSegment(CommitSegment::log_append,
+                   MonotonicNowNs() - append_start_ns);
+  ARIES_RETURN_NOT_OK(lsn_res.status());
+  Lsn lsn = lsn_res.value();
   // Lazy commit: enqueue the durability request and release locks without
   // waiting for the flush. Trades the D of ACID at crash time — a crash
   // before the next group flush forgets this transaction (atomically, via
@@ -87,7 +119,31 @@ Status TransactionManager::CommitAsync(Transaction* txn) {
   // any later transaction that saw our writes has a larger commit LSN, so
   // it can only be durable if we are.
   log_->RequestFlush(lsn + commit.SerializedSize());
-  return EndTransaction(txn, TxnState::kCommitted);
+  ARIES_RETURN_NOT_OK(EndTransaction(txn, TxnState::kCommitted));
+  HarvestBreakdown(txn);
+  return Status::OK();
+}
+
+void TransactionManager::HarvestBreakdown(const Transaction* txn) {
+  const CommitBreakdown& bd = txn->breakdown();
+  if (metrics_ != nullptr) {
+    // One Record per segment per commit, zeros included: every commit_seg_*
+    // histogram then has commit-count observations and per-commit means.
+    // The histogram names mirror ARIESIM_COMMIT_SEGMENTS by hand (see
+    // common/metrics.h); commit_breakdown_test.cpp enforces the pairing.
+#define ARIESIM_RECORD_SEG(name) \
+  metrics_->commit_seg_##name.Record(bd.Get(CommitSegment::name));
+    ARIESIM_COMMIT_SEGMENTS(ARIESIM_RECORD_SEG)
+#undef ARIESIM_RECORD_SEG
+  }
+  // Opt-in per-transaction breakdown in the trace stream: one instant per
+  // segment, value = accumulated nanoseconds. Compiled out with the rest of
+  // the tracer under -DARIESIM_TRACE=OFF.
+#define ARIESIM_TRACE_SEG(name)                          \
+  ARIES_TRACE_INSTANT("commit.seg." #name, TraceCat::kTxn, \
+                      bd.Get(CommitSegment::name));
+  ARIESIM_COMMIT_SEGMENTS(ARIESIM_TRACE_SEG)
+#undef ARIESIM_TRACE_SEG
 }
 
 Status TransactionManager::EndTransaction(Transaction* txn, TxnState final_state) {
@@ -97,7 +153,11 @@ Status TransactionManager::EndTransaction(Transaction* txn, TxnState final_state
   txn->set_state(final_state);
   LogRecord end;
   end.type = LogType::kEnd;
-  ARIES_RETURN_NOT_OK(AppendTxnLog(txn, &end).status());
+  const uint64_t append_start_ns = MonotonicNowNs();
+  Status append_status = AppendTxnLog(txn, &end).status();
+  AddCommitSegment(CommitSegment::log_append,
+                   MonotonicNowNs() - append_start_ns);
+  ARIES_RETURN_NOT_OK(append_status);
   locks_->ReleaseAll(txn->id());
   Forget(txn->id());
   return Status::OK();

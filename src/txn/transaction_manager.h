@@ -80,6 +80,12 @@ class TransactionManager {
   LogManager* log() { return log_; }
 
  private:
+  /// Record the transaction's CommitBreakdown into the commit_seg_*
+  /// histograms and emit the per-segment trace instants (PR 9). Called after
+  /// a successful Commit/CommitAsync; zero segments are recorded too so
+  /// every segment histogram counts every commit.
+  void HarvestBreakdown(const Transaction* txn);
+
   LogManager* log_;
   LockManager* locks_;
   Metrics* metrics_ = nullptr;

@@ -11,10 +11,44 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/commit_breakdown.h"
 #include "common/trace.h"
 #include "util/coding.h"
 
 namespace ariesim {
+
+namespace {
+
+// Commit-breakdown attribution for one durability wait (PR 9): split the
+// waiter's interval [enqueue_ns, now) across the phases of the batch that
+// made it durable, by intersecting each phase with the waiter's own window.
+// A waiter that joined mid-batch only charges the part it actually sat
+// through; one whose LSN was already durable charges everything to wakeup
+// (pure validation/handoff cost). No-op when no transaction is bound.
+void AttributeDurabilityWait(uint64_t enqueue_ns, uint64_t batch_start_ns,
+                             uint64_t write_done_ns, uint64_t sync_done_ns) {
+  if (CurrentCommitBreakdown() == nullptr) return;
+  const uint64_t now = MonotonicNowNs();
+  auto overlap = [&](uint64_t lo, uint64_t hi) -> uint64_t {
+    lo = std::max(lo, enqueue_ns);
+    hi = std::min(hi, now);
+    return hi > lo ? hi - lo : 0;
+  };
+  if (sync_done_ns <= enqueue_ns) {
+    AddCommitSegment(CommitSegment::wakeup, now - enqueue_ns);
+    return;
+  }
+  AddCommitSegment(CommitSegment::queue_wait,
+                   batch_start_ns > enqueue_ns ? batch_start_ns - enqueue_ns
+                                               : 0);
+  AddCommitSegment(CommitSegment::batch_write,
+                   overlap(batch_start_ns, write_done_ns));
+  AddCommitSegment(CommitSegment::fsync, overlap(write_done_ns, sync_done_ns));
+  AddCommitSegment(CommitSegment::wakeup,
+                   now > sync_done_ns ? now - sync_done_ns : 0);
+}
+
+}  // namespace
 
 LogManager::LogManager(std::string path, Metrics* metrics, bool fsync_on_flush,
                        size_t buffer_capacity)
@@ -152,6 +186,7 @@ Status LogManager::FlushLockedImpl() {
   }
   // Flush the whole tail (simple, and amortizes well under group pressure).
   const uint64_t flush_start_ns = MonotonicNowNs();
+  uint64_t write_done_ns = flush_start_ns;
   {
     // The fsync span is the serial heart of the group-commit pipeline; it is
     // also recorded on the error returns so a stall shows up in the trace.
@@ -166,10 +201,17 @@ Status LogManager::FlushLockedImpl() {
                              std::to_string(n) + " of " +
                              std::to_string(buffer_.size()) + " bytes");
     }
+    write_done_ns = MonotonicNowNs();
     if (fsync_on_flush_ && ::fdatasync(fd_) != 0) {
       return Status::IOError("fdatasync log");
     }
   }
+  const uint64_t sync_done_ns = MonotonicNowNs();
+  // Publish the batch phases before the flushed_lsn_ release store: a commit
+  // waiter that sees its LSN durable then also sees this batch's timing.
+  last_batch_start_ns_.store(flush_start_ns, std::memory_order_relaxed);
+  last_batch_write_ns_.store(write_done_ns, std::memory_order_relaxed);
+  last_batch_fsync_ns_.store(sync_done_ns, std::memory_order_relaxed);
   buffer_base_ = next_lsn_.load();
   flushed_lsn_ = next_lsn_.load();
   buffer_.clear();
@@ -200,7 +242,21 @@ void LogManager::EnableGroupCommit(bool enabled, uint32_t max_delay_us) {
 }
 
 Status LogManager::CommitFlush(Lsn lsn) {
-  if (!group_commit_) return FlushTo(lsn);
+  if (!group_commit_) {
+    // Non-group commit force: the committer runs the write+fsync itself
+    // (or finds it already durable). The published batch phases describe
+    // exactly the flush that satisfied us, because FlushTo returns while
+    // still ordered after FlushLockedImpl's stores under mu_.
+    const uint64_t enqueue_ns = MonotonicNowNs();
+    Status s = FlushTo(lsn);
+    if (s.ok()) {
+      AttributeDurabilityWait(
+          enqueue_ns, last_batch_start_ns_.load(std::memory_order_relaxed),
+          last_batch_write_ns_.load(std::memory_order_relaxed),
+          last_batch_fsync_ns_.load(std::memory_order_relaxed));
+    }
+    return s;
+  }
   return GroupCommitFlush(lsn);
 }
 
@@ -238,6 +294,7 @@ Status LogManager::GroupCommitFlush(Lsn lsn) {
   // Covers this committer's whole enqueue -> (batch, fsync) -> wakeup wait.
   ARIES_TRACE_SPAN(span, "gc.wait", TraceCat::kWal, lsn);
   ARIES_TRACE_INSTANT("gc.enqueue", TraceCat::kWal, lsn);
+  const uint64_t enqueue_ns = MonotonicNowNs();
   std::unique_lock<std::mutex> lk(gc_mu_);
   // One forced re-flush per waiter: if the attempt that covered us failed
   // (e.g. a transient error that has since healed), roll the attempt
@@ -245,7 +302,13 @@ Status LogManager::GroupCommitFlush(Lsn lsn) {
   // covered failure is final.
   bool retried = false;
   for (;;) {
-    if (flushed_lsn() >= lsn) return Status::OK();
+    if (flushed_lsn() >= lsn) {
+      AttributeDurabilityWait(
+          enqueue_ns, last_batch_start_ns_.load(std::memory_order_relaxed),
+          last_batch_write_ns_.load(std::memory_order_relaxed),
+          last_batch_fsync_ns_.load(std::memory_order_relaxed));
+      return Status::OK();
+    }
     // Crash simulation discarded the tail out from under us: our record no
     // longer exists and can never become durable.
     if (lsn > next_lsn()) {

@@ -191,6 +191,16 @@ class LogManager {
   std::atomic<Lsn> flushed_lsn_{0};  // records below this are durable
   std::atomic<Lsn> last_lsn_{kNullLsn};
 
+  // Wall-clock phases of the most recent successful tail flush (batch start,
+  // pwrite done, fdatasync done), published relaxed *before* the flushed_lsn_
+  // release store so a commit waiter that observes its LSN durable also sees
+  // the timing of the batch that made it so. Feeds the commit-breakdown
+  // queue_wait / batch_write / fsync / wakeup segments (PR 9;
+  // common/commit_breakdown.h).
+  std::atomic<uint64_t> last_batch_start_ns_{0};
+  std::atomic<uint64_t> last_batch_write_ns_{0};
+  std::atomic<uint64_t> last_batch_fsync_ns_{0};
+
   // -- group-commit coordination ------------------------------------------
   // gc_mu_ guards only the coordination state below; the flush itself runs
   // under mu_. Nobody ever waits for mu_ while holding gc_mu_ (both the

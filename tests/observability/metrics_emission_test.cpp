@@ -95,8 +95,9 @@ TEST(MetricsEmission, NameTablesMatchCounts) {
   EXPECT_STREQ(Metrics::CounterNames()[Metrics::kCounterCount - 1],
                "btree_backoffs");
   EXPECT_STREQ(Metrics::HistogramNames()[0], "commit_latency");
+  // PR 9 appended the seven commit_seg_* histograms after smo_latency.
   EXPECT_STREQ(Metrics::HistogramNames()[Metrics::kHistogramCount - 1],
-               "smo_latency");
+               "commit_seg_wakeup");
 }
 
 }  // namespace

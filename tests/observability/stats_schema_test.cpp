@@ -1,0 +1,128 @@
+// Golden-schema guard for the JSON stats surfaces (PR 9): the key inventory
+// of Metrics::ToJson(), Metrics::CommitBreakdownJson() and
+// DatabaseStats::ToJson() is pinned here — exhaustively, via the same
+// X-macro name tables the emitters use — so schema drift (a renamed key, a
+// key emitted twice, a member missing from a surface) fails this suite
+// instead of silently breaking downstream consumers of BENCH_*.json or the
+// sampler stream.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/commit_breakdown.h"
+#include "common/metrics.h"
+#include "db/database.h"
+#include "test_util.h"
+
+namespace ariesim {
+namespace {
+
+using ariesim::testing::DefaultOptions;
+using ariesim::testing::TempDir;
+
+size_t CountOccurrences(const std::string& s, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// Every histogram object carries exactly this key set, in this order.
+const char* const kHistogramKeys[] = {"\"count\":",  "\"p50_us\":",
+                                      "\"p95_us\":", "\"p99_us\":",
+                                      "\"max_us\":", "\"mean_us\":"};
+
+TEST(StatsSchema, MetricsToJsonKeyInventory) {
+  Metrics m;
+  m.commit_latency.Record(1'000'000);
+  std::string j = m.ToJson();
+
+  // Exactly one counters object holding exactly kCounterCount keys, each a
+  // known name appearing exactly once.
+  ASSERT_EQ(CountOccurrences(j, "\"counters\":{"), 1u) << j;
+  const char* const* cnames = Metrics::CounterNames();
+  for (size_t i = 0; i < Metrics::kCounterCount; ++i) {
+    EXPECT_EQ(CountOccurrences(j, "\"" + std::string(cnames[i]) + "\":"), 1u)
+        << cnames[i] << " must appear exactly once: " << j;
+  }
+  ASSERT_EQ(CountOccurrences(j, "\"histograms\":{"), 1u) << j;
+  const char* const* hnames = Metrics::HistogramNames();
+  for (size_t i = 0; i < Metrics::kHistogramCount; ++i) {
+    EXPECT_EQ(CountOccurrences(
+                  j, "\"" + std::string(hnames[i]) + "\":{\"count\":"),
+              1u)
+        << hnames[i] << " must appear exactly once: " << j;
+  }
+  // Histogram object key set: kHistogramCount of each key, no extras hiding
+  // behind a different spelling ("us" suffix is the contract).
+  for (const char* key : kHistogramKeys) {
+    EXPECT_EQ(CountOccurrences(j, key), Metrics::kHistogramCount)
+        << key << " count drifted: " << j;
+  }
+  // Total key count in the document is pinned: counters + histograms +
+  // 6 keys per histogram object + the two section keys. Any new key — or a
+  // dropped one — moves this number.
+  size_t total_keys = CountOccurrences(j, "\":");
+  EXPECT_EQ(total_keys, Metrics::kCounterCount +
+                            Metrics::kHistogramCount * (1 + 6) + 2)
+      << "ToJson key inventory drifted: " << j;
+}
+
+TEST(StatsSchema, CommitBreakdownJsonKeyInventory) {
+  Metrics m;
+  std::string j = m.CommitBreakdownJson();
+  ASSERT_EQ(CountOccurrences(j, "\"segments\":{"), 1u) << j;
+  ASSERT_EQ(CountOccurrences(j, "\"accounted\":{"), 1u) << j;
+  const char* const* snames = CommitBreakdown::SegmentNames();
+  for (size_t i = 0; i < kCommitSegmentCount; ++i) {
+    EXPECT_EQ(CountOccurrences(
+                  j, "\"" + std::string(snames[i]) + "\":{\"count\":"),
+              1u)
+        << snames[i] << ": " << j;
+  }
+  // Per-segment objects: count,p50_us,p95_us,mean_us,sum_ms,share.
+  for (const char* key : {"\"p50_us\":", "\"p95_us\":", "\"mean_us\":",
+                          "\"sum_ms\":", "\"share\":"}) {
+    EXPECT_EQ(CountOccurrences(j, key), kCommitSegmentCount) << key << ": " << j;
+  }
+  for (const char* key :
+       {"\"commit_count\":", "\"commit_p50_us\":", "\"commit_mean_us\":",
+        "\"path_p50_us_sum\":", "\"path_mean_us_sum\":", "\"p50_share\":",
+        "\"mean_share\":"}) {
+    EXPECT_EQ(CountOccurrences(j, key), 1u) << key << ": " << j;
+  }
+}
+
+TEST(StatsSchema, DatabaseStatsTopLevelKeys) {
+  TempDir dir("schema_db");
+  auto db = std::move(Database::Open(dir.path(), DefaultOptions()).value());
+  db->CreateTable("t", 2).value();
+  Table* table = db->GetTable("t");
+  Transaction* txn = db->Begin();
+  ASSERT_OK(table->Insert(txn, {"k", "v"}));
+  ASSERT_OK(db->Commit(txn));
+  std::string j = db->Stats().ToJson();
+  // Top-level sections, each exactly once.
+  for (const char* key :
+       {"\"health\":", "\"metrics\":", "\"commit_breakdown\":", "\"restart\":",
+        "\"trace\":"}) {
+    EXPECT_EQ(CountOccurrences(j, key), 1u) << key << ": " << j;
+  }
+  // The full metrics inventory is embedded, not a subset.
+  const char* const* cnames = Metrics::CounterNames();
+  for (size_t i = 0; i < Metrics::kCounterCount; ++i) {
+    EXPECT_GE(CountOccurrences(j, "\"" + std::string(cnames[i]) + "\":"), 1u)
+        << cnames[i] << " missing from Stats().ToJson(): " << j;
+  }
+  // And the breakdown section is the same document CommitBreakdownJson()
+  // renders (segments + accounted present).
+  EXPECT_NE(j.find("\"commit_breakdown\":{\"segments\":{"), std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"p50_share\":"), std::string::npos) << j;
+}
+
+}  // namespace
+}  // namespace ariesim

@@ -19,12 +19,18 @@
 //   .stats                       structured engine snapshot (JSON)
 //   .locks [dot|json]            lock-table snapshot + deadlock postmortems
 //   .trace on|off|dump [path]    event tracer control (see docs/OBSERVABILITY.md)
+//   .metrics                     OpenMetrics/Prometheus text exposition
+//   .watch [ms] [n]              live top-counters + commit-breakdown view
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/metrics_sampler.h"
 #include "db/database.h"
 
 using namespace ariesim;
@@ -96,7 +102,11 @@ void Shell::Execute(const std::vector<std::string>& tok) {
         ".locks json                 full lock forensics as JSON\n"
         ".trace on|off               enable/disable event tracing\n"
         ".trace dump [path]          write Chrome trace JSON (default "
-        "trace.json)\n");
+        "trace.json)\n"
+        ".metrics                    OpenMetrics/Prometheus exposition\n"
+        ".watch [ms] [n]             redraw top counters, rates and commit\n"
+        "                            breakdown every ms (default 1000), n\n"
+        "                            times (default 10)\n");
     return;
   }
   if (cmd == "tables") {
@@ -308,6 +318,68 @@ void Shell::Execute(const std::vector<std::string>& tok) {
       }
     } else {
       std::printf("usage: .trace on|off|dump [path]\n");
+    }
+    return;
+  }
+  if (cmd == ".metrics") {
+    std::printf("%s", db->metrics().ToOpenMetrics().c_str());
+    return;
+  }
+  if (cmd == ".watch") {
+    // Live view on top of the sampler (manual mode: interval 0 spawns no
+    // thread; this loop drives SampleOnce itself). Each redraw shows the
+    // busiest counters by delta with their per-second rates, plus the
+    // commit-breakdown share of each segment over the window.
+    uint32_t interval_ms = 1000;
+    int redraws = 10;
+    if (tok.size() >= 2) interval_ms = static_cast<uint32_t>(std::stoul(tok[1]));
+    if (tok.size() >= 3) redraws = std::stoi(tok[2]);
+    if (interval_ms == 0) interval_ms = 1000;
+    MetricsSampler watch(&db->metrics(), 0, "");
+    MetricsSample prev = watch.SampleOnce();
+    const char* const* cnames = Metrics::CounterNames();
+    const char* const* hnames = Metrics::HistogramNames();
+    for (int i = 0; i < redraws; i++) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      MetricsSample cur = watch.SampleOnce();
+      double dt_s = static_cast<double>(cur.t_ns - prev.t_ns) / 1e9;
+      if (dt_s <= 0) dt_s = 1;
+      std::vector<std::pair<uint64_t, size_t>> deltas;
+      for (size_t c = 0; c < Metrics::kCounterCount; c++) {
+        uint64_t d = cur.counters[c] - prev.counters[c];
+        if (d > 0) deltas.emplace_back(d, c);
+      }
+      std::sort(deltas.rbegin(), deltas.rend());
+      std::printf("-- watch %d/%d (%.1fs window) --\n", i + 1, redraws, dt_s);
+      size_t shown = 0;
+      for (auto& [d, c] : deltas) {
+        if (shown++ >= 8) break;
+        std::printf("  %-26s +%-10lu %10.1f/s (total %lu)\n", cnames[c],
+                    (unsigned long)d, static_cast<double>(d) / dt_s,
+                    (unsigned long)cur.counters[c]);
+      }
+      if (deltas.empty()) std::printf("  (no counter activity)\n");
+      // Commit-breakdown shares over this window, from the commit_seg_*
+      // histogram sum deltas.
+      uint64_t seg_total = 0;
+      std::vector<std::pair<const char*, uint64_t>> segs;
+      for (size_t h = 0; h < Metrics::kHistogramCount; h++) {
+        const std::string name = hnames[h];
+        if (name.rfind("commit_seg_", 0) != 0) continue;
+        uint64_t d = cur.hists[h].sum_ns - prev.hists[h].sum_ns;
+        segs.emplace_back(hnames[h] + sizeof("commit_seg_") - 1, d);
+        seg_total += d;
+      }
+      if (seg_total > 0) {
+        std::printf("  commit breakdown:");
+        for (auto& [name, d] : segs) {
+          std::printf(" %s %.1f%%", name,
+                      100.0 * static_cast<double>(d) /
+                          static_cast<double>(seg_total));
+        }
+        std::printf("\n");
+      }
+      prev = cur;
     }
     return;
   }

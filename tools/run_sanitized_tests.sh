@@ -13,10 +13,14 @@
 #   tools/run_sanitized_tests.sh thread -L stress   # stress suites only
 #   tools/run_sanitized_tests.sh thread -L observability  # tracer/histograms
 # The observability label covers the enable/disable-vs-recorder races in the
-# tracer, concurrent histogram recording, and the concurrency-forensics
+# tracer, concurrent histogram recording, the concurrency-forensics
 # surface (lock-free contention sketches, Snapshot() sampled under an
-# 8-thread storm, watchdog firing concurrent with waiters) — the TSan leg is
-# what certifies them data-race-free (see docs/OBSERVABILITY.md).
+# 8-thread storm, watchdog firing concurrent with waiters), and — since
+# PR 9 — commit critical-path attribution (TLS breakdown binding vs the
+# group-commit flusher's batch-phase timestamps, multithreaded commit
+# harvest) plus the background metrics sampler (start/stop lifecycle,
+# sampling concurrent with recording threads) — the TSan leg is what
+# certifies them data-race-free (see docs/OBSERVABILITY.md).
 # Stress-test seed lists can be narrowed for quicker sanitized runs:
 #   ARIESIM_STRESS_SEEDS=1-4 tools/run_sanitized_tests.sh thread
 set -euo pipefail
