@@ -1,0 +1,455 @@
+#include "common/blackbox.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace ariesim {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator + shallow field collector. No
+// allocation-heavy DOM: blackbox_dump and the tests only need "is this a
+// complete document" plus the scalar fields of the first two object levels.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonCursor {
+  const char* begin;
+  const char* p;
+  const char* end;
+  std::map<std::string, std::string>* fields;
+  std::string* err;
+};
+
+bool Fail(JsonCursor* c, const char* msg) {
+  if (c->err != nullptr && c->err->empty()) {
+    *c->err = msg;
+    *c->err +=
+        " at offset " + std::to_string(static_cast<size_t>(c->p - c->begin));
+  }
+  return false;
+}
+
+void SkipWs(JsonCursor* c) {
+  while (c->p < c->end &&
+         (*c->p == ' ' || *c->p == '\t' || *c->p == '\n' || *c->p == '\r')) {
+    ++c->p;
+  }
+}
+
+bool ParseString(JsonCursor* c, std::string* out) {
+  if (c->p >= c->end || *c->p != '"') return Fail(c, "expected string");
+  ++c->p;
+  while (c->p < c->end) {
+    unsigned char ch = static_cast<unsigned char>(*c->p);
+    if (ch == '"') {
+      ++c->p;
+      return true;
+    }
+    if (ch == '\\') {
+      ++c->p;
+      if (c->p >= c->end) return Fail(c, "truncated escape");
+      char e = *c->p;
+      switch (e) {
+        case '"': if (out) *out += '"'; break;
+        case '\\': if (out) *out += '\\'; break;
+        case '/': if (out) *out += '/'; break;
+        case 'b': if (out) *out += '\b'; break;
+        case 'f': if (out) *out += '\f'; break;
+        case 'n': if (out) *out += '\n'; break;
+        case 'r': if (out) *out += '\r'; break;
+        case 't': if (out) *out += '\t'; break;
+        case 'u': {
+          if (c->end - c->p < 5) return Fail(c, "truncated \\u escape");
+          for (int i = 1; i <= 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(c->p[i]))) {
+              return Fail(c, "bad \\u escape");
+            }
+          }
+          unsigned cp = 0;
+          for (int i = 1; i <= 4; ++i) {
+            char d = c->p[i];
+            cp = cp * 16 + static_cast<unsigned>(
+                               d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10);
+          }
+          // ASCII decodes exactly (all our own escaper ever emits);
+          // anything wider keeps a placeholder — the record is forensic
+          // text, not a unicode round-trip.
+          if (out) *out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          c->p += 4;
+          break;
+        }
+        default:
+          return Fail(c, "bad escape character");
+      }
+      ++c->p;
+      continue;
+    }
+    if (ch < 0x20) return Fail(c, "raw control character in string");
+    if (out) *out += static_cast<char>(ch);
+    ++c->p;
+  }
+  return Fail(c, "unterminated string");
+}
+
+bool ParseNumber(JsonCursor* c, std::string* out) {
+  const char* start = c->p;
+  if (c->p < c->end && *c->p == '-') ++c->p;
+  if (c->p >= c->end || !std::isdigit(static_cast<unsigned char>(*c->p))) {
+    return Fail(c, "bad number");
+  }
+  while (c->p < c->end && std::isdigit(static_cast<unsigned char>(*c->p))) {
+    ++c->p;
+  }
+  if (c->p < c->end && *c->p == '.') {
+    ++c->p;
+    if (c->p >= c->end || !std::isdigit(static_cast<unsigned char>(*c->p))) {
+      return Fail(c, "bad fraction");
+    }
+    while (c->p < c->end && std::isdigit(static_cast<unsigned char>(*c->p))) {
+      ++c->p;
+    }
+  }
+  if (c->p < c->end && (*c->p == 'e' || *c->p == 'E')) {
+    ++c->p;
+    if (c->p < c->end && (*c->p == '+' || *c->p == '-')) ++c->p;
+    if (c->p >= c->end || !std::isdigit(static_cast<unsigned char>(*c->p))) {
+      return Fail(c, "bad exponent");
+    }
+    while (c->p < c->end && std::isdigit(static_cast<unsigned char>(*c->p))) {
+      ++c->p;
+    }
+  }
+  if (out) out->assign(start, static_cast<size_t>(c->p - start));
+  return true;
+}
+
+bool ParseLiteral(JsonCursor* c, const char* lit, std::string* out) {
+  size_t n = std::strlen(lit);
+  if (static_cast<size_t>(c->end - c->p) < n ||
+      std::memcmp(c->p, lit, n) != 0) {
+    return Fail(c, "bad literal");
+  }
+  c->p += n;
+  if (out) *out = lit;
+  return true;
+}
+
+bool ParseValue(JsonCursor* c, const std::string& path, int depth);
+
+bool ParseObject(JsonCursor* c, const std::string& path, int depth) {
+  ++c->p;  // consume '{'
+  SkipWs(c);
+  if (c->p < c->end && *c->p == '}') {
+    ++c->p;
+    return true;
+  }
+  while (true) {
+    SkipWs(c);
+    std::string key;
+    if (!ParseString(c, &key)) return false;
+    SkipWs(c);
+    if (c->p >= c->end || *c->p != ':') return Fail(c, "expected ':'");
+    ++c->p;
+    SkipWs(c);
+    std::string child_path;
+    if (depth <= 2) {
+      child_path = path.empty() ? key : path + "." + key;
+    }
+    if (!ParseValue(c, child_path, depth)) return false;
+    SkipWs(c);
+    if (c->p >= c->end) return Fail(c, "unterminated object");
+    if (*c->p == ',') {
+      ++c->p;
+      continue;
+    }
+    if (*c->p == '}') {
+      ++c->p;
+      return true;
+    }
+    return Fail(c, "expected ',' or '}'");
+  }
+}
+
+bool ParseArray(JsonCursor* c, int depth) {
+  ++c->p;  // consume '['
+  SkipWs(c);
+  if (c->p < c->end && *c->p == ']') {
+    ++c->p;
+    return true;
+  }
+  while (true) {
+    SkipWs(c);
+    if (!ParseValue(c, std::string(), depth)) return false;
+    SkipWs(c);
+    if (c->p >= c->end) return Fail(c, "unterminated array");
+    if (*c->p == ',') {
+      ++c->p;
+      continue;
+    }
+    if (*c->p == ']') {
+      ++c->p;
+      return true;
+    }
+    return Fail(c, "expected ',' or ']'");
+  }
+}
+
+bool ParseValue(JsonCursor* c, const std::string& path, int depth) {
+  if (depth > 64) return Fail(c, "nesting too deep");
+  SkipWs(c);
+  if (c->p >= c->end) return Fail(c, "unexpected end of input");
+  // Collect scalars of the first two object levels; path is empty for
+  // deeper values and array elements, so they are validated only.
+  const bool collect = c->fields != nullptr && !path.empty() && depth <= 2;
+  std::string scalar;
+  std::string* sink = collect ? &scalar : nullptr;
+  bool ok;
+  switch (*c->p) {
+    case '{': ok = ParseObject(c, path, depth + 1); break;
+    case '[': ok = ParseArray(c, depth + 1); break;
+    case '"': ok = ParseString(c, sink); break;
+    case 't': ok = ParseLiteral(c, "true", sink); break;
+    case 'f': ok = ParseLiteral(c, "false", sink); break;
+    case 'n': ok = ParseLiteral(c, "null", sink); break;
+    default: ok = ParseNumber(c, sink); break;
+  }
+  if (ok && sink != nullptr) (*c->fields)[path] = scalar;
+  return ok;
+}
+
+}  // namespace
+
+bool ParseJson(const std::string& text,
+               std::map<std::string, std::string>* fields, std::string* err) {
+  JsonCursor c{text.data(), text.data(), text.data() + text.size(), fields,
+               err};
+  if (!ParseValue(&c, std::string(), 0)) return false;
+  SkipWs(&c);
+  if (c.p != c.end) {
+    if (err != nullptr && err->empty()) *err = "trailing garbage after value";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// BlackBox
+// ---------------------------------------------------------------------------
+
+BlackBox::BlackBox(std::string path, Metrics* metrics)
+    : path_(std::move(path)), metrics_(metrics) {}
+
+BlackBox::~BlackBox() { Stop(); }
+
+void BlackBox::SetSnapshotBuilder(SnapshotBuilder builder) {
+  std::lock_guard<std::mutex> lk(mu_);
+  builder_ = std::move(builder);
+}
+
+void BlackBox::SetPreviousIncident(std::string summary_json_object) {
+  std::lock_guard<std::mutex> lk(mu_);
+  prev_incident_ = std::move(summary_json_object);
+}
+
+void BlackBox::StartPeriodic(uint32_t interval_ms) {
+  if (interval_ms == 0) return;
+  std::lock_guard<std::mutex> lk(run_mu_);
+  if (run_flag_) return;
+  run_flag_ = true;
+  periodic_running_.store(true, std::memory_order_release);
+  periodic_ = std::thread([this, interval_ms] { PeriodicLoop(interval_ms); });
+}
+
+void BlackBox::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    if (!run_flag_ && !periodic_.joinable()) return;
+    run_flag_ = false;
+    run_cv_.notify_all();
+  }
+  if (periodic_.joinable()) periodic_.join();
+  periodic_running_.store(false, std::memory_order_release);
+}
+
+void BlackBox::PeriodicLoop(uint32_t interval_ms) {
+  std::unique_lock<std::mutex> lk(run_mu_);
+  while (run_flag_) {
+    run_cv_.wait_for(lk, std::chrono::milliseconds(interval_ms),
+                     [&] { return !run_flag_; });
+    if (!run_flag_) break;
+    lk.unlock();
+    Capture("cadence", "");
+    lk.lock();
+  }
+}
+
+Status BlackBox::Capture(const char* trigger, const std::string& reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t t0 = MonotonicNowNs();
+  const uint64_t now_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+
+  std::string out;
+  out.reserve(16384);
+  out += "{\"version\":1";
+  out += ",\"seq\":" + std::to_string(++seq_);  // 1-based: seq 1 = first
+  out += ",\"ts_unix_ms\":" + std::to_string(now_ms);
+  out += ",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+  out += ",\"trigger\":\"";
+  AppendJsonEscaped(trigger, &out);
+  out += "\",\"reason\":\"";
+  AppendJsonEscaped(reason, &out);
+  out += "\"";
+
+  const bool is_incident = std::strcmp(trigger, "cadence") != 0 &&
+                           std::strcmp(trigger, "clean_shutdown") != 0;
+  if (is_incident && incident_memo_.empty()) {
+    // Memoize the FIRST incident of this incarnation: later snapshots —
+    // cadence refreshes or follow-on incidents (a flush failure escalating
+    // into a health trip and then a crash) — keep pointing at the root
+    // cause even after they overwrite its full record.
+    incident_memo_ = "{\"trigger\":\"";
+    AppendJsonEscaped(trigger, &incident_memo_);
+    incident_memo_ += "\",\"reason\":\"";
+    AppendJsonEscaped(reason, &incident_memo_);
+    incident_memo_ += "\",\"ts_unix_ms\":" + std::to_string(now_ms);
+    incident_memo_ += ",\"seq\":" + std::to_string(seq_) + "}";
+  }
+  out += ",\"incident\":" + (incident_memo_.empty() ? "null" : incident_memo_);
+  out += ",\"prev\":" + (prev_incident_.empty() ? "null" : prev_incident_);
+
+  if (builder_) {
+    out += builder_(trigger, reason);
+  }
+  out += "}";
+
+  Status s = WriteAtomic(out);
+  if (s.ok()) {
+    captures_.fetch_add(1, std::memory_order_release);
+    if (metrics_ != nullptr) {
+      metrics_->blackbox_captures.fetch_add(1, std::memory_order_relaxed);
+      metrics_->blackbox_capture_latency.Record(MonotonicNowNs() - t0);
+    }
+  }
+  return s;
+}
+
+Status BlackBox::WriteRaw(const std::string& json) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return WriteAtomic(json);
+}
+
+Status BlackBox::WriteAtomic(const std::string& json) {
+  // Alternate between two tmp slots so even the tmp write never lands on
+  // the bytes of the immediately preceding one.
+  const std::string tmp = path_ + ".tmp." + std::to_string(tmp_slot_);
+  tmp_slot_ ^= 1;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("blackbox: open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < json.size()) {
+    ssize_t n = ::write(fd, json.data() + off, json.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("blackbox: write " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("blackbox: fsync " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("blackbox: rename " + tmp + " -> " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  // Best-effort directory fsync so the rename itself survives power loss.
+  std::string dir = path_;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->blackbox_bytes.fetch_add(json.size(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status BlackBox::ReadFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no black box at " + path);
+    return Status::IOError("blackbox: open " + path + ": " +
+                           std::strerror(errno));
+  }
+  out->clear();
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out->append(buf, static_cast<size_t>(n));
+  }
+  int saved = errno;
+  ::close(fd);
+  if (n < 0) {
+    return Status::IOError("blackbox: read " + path + ": " +
+                           std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+std::string BlackBox::SpliceField(const std::string& object_json,
+                                  const std::string& key,
+                                  const std::string& value_json) {
+  size_t end = object_json.find_last_of('}');
+  if (end == std::string::npos) return object_json;
+  std::string out = object_json.substr(0, end);
+  out += ",\"" + key + "\":" + value_json + "}";
+  return out;
+}
+
+}  // namespace ariesim

@@ -143,6 +143,20 @@ struct Options {
   /// Ignored while metrics_sample_interval_ms == 0.
   std::string metrics_log_path;
 
+  /// Durable flight recorder (docs/OBSERVABILITY.md, "Flight recorder"):
+  /// maintain `<dir>/blackbox.json`, an atomic-rename snapshot of every
+  /// observability surface, refreshed on a cadence and force-captured on
+  /// health trips, WAL flush failures, simulated crashes and explicit
+  /// Database::CaptureIncident calls. On the next Open the leftover record
+  /// is annotated with the restart outcome and exposed as Stats()
+  /// "last_incident".
+  bool blackbox = true;
+
+  /// Cadence of the flight recorder's background refresh, in milliseconds.
+  /// 0 spawns no thread — snapshots are then written only by the forced
+  /// triggers above. Ignored while blackbox is false.
+  uint32_t blackbox_interval_ms = 1000;
+
   /// Simulated device latency added to every page read/write, in
   /// microseconds (0 = none). The benchmark substrate knob: on a machine
   /// whose files sit in the OS page cache, real I/O latency vanishes and

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -48,14 +49,22 @@ class HealthMonitor {
 
   /// Degrade to `to`. Monotonic: a request to move to a healthier (or equal)
   /// state is a no-op, so concurrent trippers and repeat offenders are safe.
+  /// The trip observer (if any) runs after mu_ is released — it may read
+  /// state()/reason() freely — and only for transitions that actually moved
+  /// the state.
   void Trip(EngineHealth to, const std::string& reason) {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (static_cast<uint8_t>(to) <= state_.load(std::memory_order_relaxed)) {
-      return;
+    TripObserver observer;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (static_cast<uint8_t>(to) <= state_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      state_.store(static_cast<uint8_t>(to), std::memory_order_release);
+      reason_ = reason;
+      if (metrics_ != nullptr) metrics_->health_trips++;
+      observer = on_trip_;
     }
-    state_.store(static_cast<uint8_t>(to), std::memory_order_release);
-    reason_ = reason;
-    if (metrics_ != nullptr) metrics_->health_trips++;
+    if (observer) observer(to, reason);
   }
 
   std::string reason() const {
@@ -63,11 +72,22 @@ class HealthMonitor {
     return reason_;
   }
 
+  /// Observe successful degradations (the flight recorder force-captures on
+  /// every trip). Invoked outside the monitor's lock, possibly from any
+  /// engine thread — including under the WAL flush mutex when the trip
+  /// originates there.
+  using TripObserver = std::function<void(EngineHealth, const std::string&)>;
+  void SetTripObserver(TripObserver obs) {
+    std::lock_guard<std::mutex> lk(mu_);
+    on_trip_ = std::move(obs);
+  }
+
  private:
   Metrics* metrics_;
   std::atomic<uint8_t> state_{0};
   mutable std::mutex mu_;
   std::string reason_;
+  TripObserver on_trip_;  // under mu_; copied out before invocation
 };
 
 }  // namespace ariesim

@@ -72,6 +72,9 @@ namespace ariesim {
   /* Concurrency forensics (PR 5; docs/OBSERVABILITY.md) */                 \
   X(deadlock_cycle_txns)   /* sum of cycle lengths over all postmortems */  \
   X(lock_watchdog_dumps)   /* blocked-waiter watchdog episode dumps */      \
+  /* Flight recorder (PR 10; docs/OBSERVABILITY.md "Flight recorder") */    \
+  X(blackbox_captures)     /* black-box snapshots written (any trigger) */  \
+  X(blackbox_bytes)        /* total bytes written to the black-box file */  \
   X(btree_backoffs)        /* randomized restart-backoff sleeps taken */
 
 // Latency histograms, all recording nanoseconds (reported as microseconds).
@@ -87,6 +90,9 @@ namespace ariesim {
   X(tree_latch_hold_latency) /* tree-latch X hold time (SMO serializer) */\
   X(read_descent_latency)  /* one read-path root->leaf descent (any mode) */\
   X(smo_latency)           /* one complete SMO: split or page delete */    \
+  /* Flight recorder (PR 10): one black-box snapshot, build + atomic     \
+     write + rename. */                                                   \
+  X(blackbox_capture_latency)                                             \
   /* Commit critical-path attribution (PR 9). One entry per segment of    \
      ARIESIM_COMMIT_SEGMENTS (common/commit_breakdown.h) — mirrored by    \
      hand because nested X-macros don't rescan the inner X; the pairing   \

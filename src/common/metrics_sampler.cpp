@@ -1,5 +1,7 @@
 #include "common/metrics_sampler.h"
 
+#include <unistd.h>
+
 #include <chrono>
 
 #include "common/clock.h"
@@ -40,6 +42,14 @@ void MetricsSampler::Stop() {
   }
   if (thread_.joinable()) thread_.join();
   running_ = false;
+  // Every line is already fflushed as it is written (the stream's tail
+  // survives a process crash); fsync here so a stopped stream — including
+  // the final sample the loop just took — also survives power loss.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+  }
 }
 
 void MetricsSampler::Loop() {

@@ -117,7 +117,7 @@ void Tracer::Record(const char* name, TraceCat cat, uint64_t start_ns,
   r->recorded++;
 }
 
-std::string Tracer::DumpJson() {
+std::string Tracer::DumpJson(size_t max_events) {
   std::vector<TraceEvent> all;
   uint64_t dropped = 0;
   {
@@ -141,6 +141,14 @@ std::string Tracer::DumpJson() {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.start_ns < b.start_ns;
             });
+  // Bounded excerpt: keep the newest max_events (the tail explains the
+  // incident; the head is history a full dump can still recover).
+  uint64_t excerpt_dropped = 0;
+  if (max_events > 0 && all.size() > max_events) {
+    excerpt_dropped = all.size() - max_events;
+    all.erase(all.begin(),
+              all.begin() + static_cast<long>(all.size() - max_events));
+  }
   // Rebase timestamps so the trace starts at t=0 (keeps the JSON small and
   // Perfetto's ruler readable); Chrome format wants microsecond doubles.
   const uint64_t base_ns = all.empty() ? 0 : all.front().start_ns;
@@ -175,6 +183,8 @@ std::string Tracer::DumpJson() {
   }
   out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":\"";
   out += std::to_string(dropped);
+  out += "\",\"excerptDropped\":\"";
+  out += std::to_string(excerpt_dropped);
   out += "\"}}\n";
   return out;
 }

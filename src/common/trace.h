@@ -97,8 +97,11 @@ class Tracer {
   void Record(const char* name, TraceCat cat, uint64_t start_ns,
               uint64_t dur_ns, uint64_t arg, bool instant = false);
 
-  /// Serialize every ring's events as Chrome trace_event JSON.
-  std::string DumpJson();
+  /// Serialize every ring's events as Chrome trace_event JSON. With
+  /// `max_events` > 0, keep only the newest that many events (by start
+  /// time) — the flight recorder embeds such a bounded excerpt; events cut
+  /// this way are reported in otherData.excerptDropped, not droppedEvents.
+  std::string DumpJson(size_t max_events = 0);
   /// DumpJson() to a file.
   Status Dump(const std::string& path);
 
@@ -180,7 +183,7 @@ class Tracer {
   bool enabled() const { return false; }
   void Record(const char*, TraceCat, uint64_t, uint64_t, uint64_t,
               bool = false) {}
-  std::string DumpJson() { return "{\"traceEvents\":[]}\n"; }
+  std::string DumpJson(size_t = 0) { return "{\"traceEvents\":[]}\n"; }
   Status Dump(const std::string&) {
     return Status::NotSupported("tracing compiled out (ARIESIM_TRACE=OFF)");
   }

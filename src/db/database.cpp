@@ -28,6 +28,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
         options.metrics_log_path);
     db->sampler_->Start();
   }
+  // Flight recorder, likewise on a fully opened engine only: annotates the
+  // previous incarnation's record with the restart outcome, installs the
+  // health-trip / flush-failure capture hooks and starts the cadence.
+  if (options.blackbox) db->SetUpBlackBox();
   return db;
 }
 
@@ -274,14 +278,32 @@ Database::~Database() {
   // Sampler first: it reads metrics_ owned by this object and must not
   // outlive any component it observes. Takes the run's final sample.
   if (sampler_ != nullptr) sampler_->Stop();
+  // The flight recorder's cadence likewise stops before teardown; after a
+  // SimulateCrash it is already stopped and the incident record must stay.
+  if (blackbox_ != nullptr) blackbox_->Stop();
   StopSweeper();
-  if (crashed_) return;
+  // Detach the capture hooks: member destruction below tears the recorder
+  // down before the log, and a flush inside ~LogManager must not reach a
+  // dead BlackBox through them.
+  auto detach_hooks = [this] {
+    health_.SetTripObserver(nullptr);
+    if (log_ != nullptr) log_->SetFlushFailureObserver(nullptr);
+  };
+  if (crashed_) {
+    detach_hooks();
+    return;
+  }
   // Clean shutdown: checkpoint and flush so reopen needs no redo. Pages
   // still pending lazy redo are safe to leave: the checkpoint's DPT carries
   // their recLSNs, so the next open simply re-schedules them.
   if (recovery_ != nullptr) recovery_->TakeCheckpoint();
   if (pool_ != nullptr) pool_->FlushAll();
+  // Final snapshot before the log closes: the on-disk record then says the
+  // engine landed cleanly (trigger "clean_shutdown"), and any incident of
+  // this incarnation rides along in the "incident" field.
+  if (blackbox_ != nullptr) blackbox_->Capture("clean_shutdown", "");
   if (log_ != nullptr) log_->Close();
+  detach_hooks();
 }
 
 Transaction* Database::Begin() {
@@ -430,6 +452,34 @@ BTree* Database::GetIndex(const std::string& name) {
   return tit == trees_.end() ? nullptr : tit->second.get();
 }
 
+namespace {
+
+// Newest tracer events embedded in one black-box snapshot. Bounds the
+// record: ~96 B of JSON per event keeps the excerpt under ~25 KiB.
+constexpr size_t kBlackBoxTraceEvents = 256;
+
+// Shared by DatabaseStats::ToJson and the black-box recovery annotation so
+// the two restart documents cannot drift apart.
+void AppendRestartJson(const RestartStats& restart, std::string* out) {
+  *out += "{\"analysis_records\":" + std::to_string(restart.analysis_records);
+  *out += ",\"analysis_us\":" + std::to_string(restart.analysis_us);
+  *out += ",\"redo_records\":" + std::to_string(restart.redo_records);
+  *out += ",\"redo_applied\":" + std::to_string(restart.redo_applied);
+  *out += ",\"redo_us\":" + std::to_string(restart.redo_us);
+  *out += ",\"undo_records\":" + std::to_string(restart.undo_records);
+  *out += ",\"undo_us\":" + std::to_string(restart.undo_us);
+  *out += ",\"loser_txns\":" + std::to_string(restart.loser_txns);
+  *out += ",\"torn_pages_repaired\":" +
+          std::to_string(restart.torn_pages_repaired);
+  *out += ",\"instant\":" + std::string(restart.instant ? "true" : "false");
+  *out += ",\"lazy_pages_scheduled\":" +
+          std::to_string(restart.lazy_pages_scheduled);
+  *out += ",\"total_us\":" + std::to_string(restart.total_us);
+  *out += "}";
+}
+
+}  // namespace
+
 std::string DatabaseStats::ToJson() const {
   std::string out;
   out.reserve(metrics_json.size() + 512);
@@ -446,22 +496,11 @@ std::string DatabaseStats::ToJson() const {
     if (c == '"' || c == '\\') out += '\\';
     out += c;
   }
-  out += "\",\"restart\":{";
-  out += "\"analysis_records\":" + std::to_string(restart.analysis_records);
-  out += ",\"analysis_us\":" + std::to_string(restart.analysis_us);
-  out += ",\"redo_records\":" + std::to_string(restart.redo_records);
-  out += ",\"redo_applied\":" + std::to_string(restart.redo_applied);
-  out += ",\"redo_us\":" + std::to_string(restart.redo_us);
-  out += ",\"undo_records\":" + std::to_string(restart.undo_records);
-  out += ",\"undo_us\":" + std::to_string(restart.undo_us);
-  out += ",\"loser_txns\":" + std::to_string(restart.loser_txns);
-  out += ",\"torn_pages_repaired\":" +
-         std::to_string(restart.torn_pages_repaired);
-  out += ",\"instant\":" + std::string(restart.instant ? "true" : "false");
-  out += ",\"lazy_pages_scheduled\":" +
-         std::to_string(restart.lazy_pages_scheduled);
-  out += ",\"total_us\":" + std::to_string(restart.total_us);
-  out += "},\"trace\":{";
+  out += "\",\"restart\":";
+  AppendRestartJson(restart, &out);
+  out += ",\"last_incident\":";
+  out += last_incident_json.empty() ? "null" : last_incident_json;
+  out += ",\"trace\":{";
   out += "\"enabled\":" + std::string(tracing_enabled ? "true" : "false");
   out += ",\"recorded\":" + std::to_string(trace.recorded);
   out += ",\"dropped\":" + std::to_string(trace.dropped);
@@ -535,7 +574,110 @@ DatabaseStats Database::Stats() const {
   s.restart = restart_stats_;
   s.trace = Tracer::Instance().Counts();
   s.tracing_enabled = Tracer::Instance().enabled();
+  s.last_incident_json = last_incident_json_;
   return s;
+}
+
+Status Database::CaptureIncident(const std::string& reason) {
+  if (blackbox_ == nullptr) {
+    return Status::NotSupported("flight recorder disabled (Options::blackbox)");
+  }
+  return blackbox_->Capture("manual", reason);
+}
+
+std::string Database::BuildBlackBoxSnapshot(const char* /*trigger*/,
+                                            const std::string& /*reason*/) {
+  // Runs on any thread, possibly under the WAL flush mutex (flush-failure
+  // trigger): only lock-free accessors of LogManager may be used, and no
+  // surface below may wait on a thread that could be blocked in the WAL.
+  std::string out;
+  out.reserve(16384);
+  out += ",\"health\":\"";
+  out += EngineHealthName(health_.state());
+  out += "\",\"health_reason\":\"";
+  AppendJsonEscaped(health_.reason(), &out);
+  out += "\",\"wal\":{\"durable_lsn\":" + std::to_string(log_->flushed_lsn());
+  out += ",\"next_lsn\":" + std::to_string(log_->next_lsn());
+  out += ",\"last_lsn\":" + std::to_string(log_->last_lsn());
+  LogManager::BatchWindow w = log_->LastBatchWindow();
+  out += ",\"last_batch\":{\"start_ns\":" + std::to_string(w.start_ns);
+  out += ",\"write_done_ns\":" + std::to_string(w.write_done_ns);
+  out += ",\"fsync_done_ns\":" + std::to_string(w.fsync_done_ns);
+  out += "}},\"fault\":" + fault_.StateJson();
+  out += ",\"restart\":";
+  AppendRestartJson(restart_stats_, &out);
+  out += ",\"commit_breakdown\":" + metrics_.CommitBreakdownJson();
+  out += ",\"locks\":" + LockForensicsJson();
+  // Bounded tracer excerpt: the newest events explain the incident; a full
+  // dump is still available via DumpTrace while the process lives.
+  std::string trace = Tracer::Instance().DumpJson(kBlackBoxTraceEvents);
+  while (!trace.empty() && trace.back() == '\n') trace.pop_back();
+  out += ",\"trace_excerpt\":" + trace;
+  out += ",\"openmetrics\":\"";
+  AppendJsonEscaped(metrics_.ToOpenMetrics(), &out);
+  out += "\"";
+  return out;
+}
+
+void Database::SetUpBlackBox() {
+  const std::string path = dir_ + "/blackbox.json";
+  blackbox_ = std::make_unique<BlackBox>(path, &metrics_);
+  blackbox_->SetSnapshotBuilder(
+      [this](const char* trigger, const std::string& reason) {
+        return BuildBlackBoxSnapshot(trigger, reason);
+      });
+
+  // A leftover record means the previous incarnation did not get to write a
+  // newer one — annotate it with what this restart did about it, rewrite it
+  // atomically (so offline tooling sees crash + recovery as one document)
+  // and keep it in memory as Stats() "last_incident" for this whole
+  // incarnation.
+  std::string prev;
+  if (BlackBox::ReadFile(path, &prev).ok() && !prev.empty()) {
+    std::map<std::string, std::string> fields;
+    std::string err;
+    if (ParseJson(prev, &fields, &err)) {
+      std::string rec = "{\"mode\":\"";
+      rec += restart_stats_.instant
+                 ? "instant"
+                 : (options_.recover_on_open ? "classic" : "none");
+      rec += "\",\"health_after\":\"";
+      rec += EngineHealthName(health_.state());
+      rec += "\",\"stats\":";
+      AppendRestartJson(restart_stats_, &rec);
+      rec += "}";
+      std::string annotated = BlackBox::SpliceField(prev, "recovery", rec);
+      last_incident_json_ =
+          blackbox_->WriteRaw(annotated).ok() ? std::move(annotated)
+                                              : std::move(prev);
+      // Breadcrumb embedded in every snapshot this incarnation writes, so
+      // the prior incident stays on disk even after a cadence overwrite.
+      auto field = [&fields](const char* key, const char* dflt) {
+        auto it = fields.find(key);
+        return it == fields.end() ? std::string(dflt) : it->second;
+      };
+      std::string summary = "{\"trigger\":\"";
+      AppendJsonEscaped(field("trigger", "?"), &summary);
+      summary += "\",\"reason\":\"";
+      AppendJsonEscaped(field("reason", ""), &summary);
+      summary += "\",\"ts_unix_ms\":" + field("ts_unix_ms", "0");
+      summary += ",\"seq\":" + field("seq", "0") + "}";
+      blackbox_->SetPreviousIncident(std::move(summary));
+    }
+    // An unparseable leftover is left as-is for offline inspection; the
+    // next capture simply replaces it.
+  }
+
+  // Trigger hooks only on the fully opened engine: a trip during recovery
+  // is already covered by the annotation above, and capturing from a
+  // half-built engine would be worse than no capture.
+  health_.SetTripObserver([this](EngineHealth, const std::string& reason) {
+    blackbox_->Capture("health_trip", reason);
+  });
+  log_->SetFlushFailureObserver([this](const Status& s) {
+    blackbox_->Capture("flush_failure", s.ToString());
+  });
+  blackbox_->StartPeriodic(options_.blackbox_interval_ms);
 }
 
 void Database::SetTracing(bool on) {
@@ -561,6 +703,14 @@ Status Database::FlushAllPages() { return pool_->FlushAll(); }
 void Database::SimulateCrash() {
   // Stop the sampler: a "crashed" engine should produce no further samples.
   if (sampler_ != nullptr) sampler_->Stop();
+  // Flight recorder: stop the cadence (nothing may overwrite the incident
+  // record after this point), then force-capture the at-crash state while
+  // the WAL tail and fault-injector state are still exactly as the crash
+  // left them.
+  if (blackbox_ != nullptr) {
+    blackbox_->Stop();
+    blackbox_->Capture("simulate_crash", "SimulateCrash()");
+  }
   // The sweeper first: it drives FetchPage traffic (log appends via
   // checkpoint) that must not race the discard below.
   StopSweeper();
@@ -576,6 +726,9 @@ void Database::SimulateCrash() {
 
 Status Database::SimulateTornCrash(const TornCrashSpec& spec) {
   SimulateCrash();
+  // Re-capture as a torn crash — before Disarm clears the spec, so the
+  // fault fields still name the injected fault the postmortem must match.
+  if (blackbox_ != nullptr) blackbox_->Capture("torn_crash", spec.ToString());
   // The next incarnation's device is healthy; only the files stay damaged.
   fault_.Disarm();
   switch (spec.target) {

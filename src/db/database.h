@@ -15,6 +15,7 @@
 
 #include "btree/btree.h"
 #include "buffer/buffer_pool.h"
+#include "common/blackbox.h"
 #include "common/context.h"
 #include "common/health.h"
 #include "common/metrics_sampler.h"
@@ -50,6 +51,11 @@ struct DatabaseStats {
   RecoveryStats restart;  ///< zeroed if this incarnation ran no recovery
   TraceCounts trace;
   bool tracing_enabled = false;
+  /// The previous incarnation's black-box record (annotated with this
+  /// incarnation's restart outcome), or empty when none was found / the
+  /// recorder is disabled. Emitted as `"last_incident"` (null when empty).
+  /// See docs/OBSERVABILITY.md "Flight recorder".
+  std::string last_incident_json;
 
   std::string ToJson() const;
 };
@@ -145,6 +151,15 @@ class Database {
   /// ever spawned then). See docs/OBSERVABILITY.md "Time-series sampler".
   MetricsSampler* sampler() { return sampler_.get(); }
 
+  /// Force one flight-recorder snapshot now (trigger "manual"). Returns
+  /// NotSupported when Options::blackbox is false. See docs/OBSERVABILITY.md
+  /// "Flight recorder".
+  Status CaptureIncident(const std::string& reason);
+  /// The flight recorder, or nullptr when Options::blackbox is false.
+  BlackBox* blackbox() { return blackbox_.get(); }
+  /// The previous incarnation's annotated black-box record (empty if none).
+  const std::string& last_incident_json() const { return last_incident_json_; }
+
   EngineContext* ctx() { return &ctx_; }
   const Catalog* catalog() const { return catalog_.get(); }
   Metrics& metrics() { return metrics_; }
@@ -173,6 +188,14 @@ class Database {
   Status MaybeAutoCheckpoint();
   Status LoadObjects();
   BTree* MaterializeIndex(const IndexMeta& meta);
+  /// Create the flight recorder, annotate + reload the previous
+  /// incarnation's record, install the trigger hooks and start the cadence
+  /// thread. Called by Open() on a fully opened engine.
+  void SetUpBlackBox();
+  /// The engine-state fields of one black-box snapshot (everything after
+  /// the BlackBox envelope), as a ','-prefixed JSON fragment.
+  std::string BuildBlackBoxSnapshot(const char* trigger,
+                                    const std::string& reason);
 
   Options options_;
   Metrics metrics_;
@@ -197,6 +220,8 @@ class Database {
   std::unique_ptr<BtreeResourceManager> btree_rm_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<MetricsSampler> sampler_;  // only when sampling is enabled
+  std::unique_ptr<BlackBox> blackbox_;       // only when Options::blackbox
+  std::string last_incident_json_;  // previous incarnation's record, annotated
   RestartStats restart_stats_;
 
   /// Background drain of the instant-restart redo debt (cold pages would

@@ -21,8 +21,7 @@ const char* FaultSiteName(FaultSite site) {
   return "?";
 }
 
-namespace {
-const char* KindName(FaultKind kind) {
+const char* FaultKindName(FaultKind kind) {
   switch (kind) {
     case FaultKind::kNone:
       return "none";
@@ -41,11 +40,10 @@ const char* KindName(FaultKind kind) {
   }
   return "?";
 }
-}  // namespace
 
 std::string FaultSpec::ToString() const {
   std::ostringstream os;
-  os << KindName(kind) << "@" << FaultSiteName(site) << " nth=" << nth
+  os << FaultKindName(kind) << "@" << FaultSiteName(site) << " nth=" << nth
      << " keep=" << keep_bytes << " repeat=" << repeat
      << (freeze_after ? " freeze" : "");
   if (page_id != kInvalidPageId) os << " page=" << page_id;
@@ -174,6 +172,28 @@ std::string FaultInjector::Describe() const {
   }
   os << "]";
   return os.str();
+}
+
+std::string FaultInjector::StateJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"kind\":\"";
+  out += FaultKindName(spec_.kind);
+  out += "\",\"site\":\"";
+  out += FaultSiteName(spec_.site);
+  out += "\",\"armed\":";
+  out += armed_ ? "true" : "false";
+  out += ",\"frozen\":";
+  out += frozen_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += ",\"fires\":";
+  out += std::to_string(fires_.load(std::memory_order_relaxed));
+  out += ",\"spec\":\"";
+  // ToString has no quotes or backslashes, but stay safe if that changes.
+  for (char c : spec_.ToString()) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"}";
+  return out;
 }
 
 }  // namespace ariesim

@@ -64,6 +64,8 @@ enum class FaultKind : uint8_t {
   kStuckDevice = 6,
 };
 
+const char* FaultKindName(FaultKind kind);
+
 struct FaultSpec {
   FaultKind kind = FaultKind::kNone;
   FaultSite site = FaultSite::kDataWrite;
@@ -130,6 +132,11 @@ class FaultInjector {
 
   /// Human-readable state, for logging a failing seed's reproduction line.
   std::string Describe() const;
+
+  /// Machine-readable state as one JSON object: the armed/last spec's kind
+  /// and site names plus armed/frozen/fires. The flight recorder embeds it
+  /// so a postmortem can match the black box against the injected fault.
+  std::string StateJson() const;
 
  private:
   mutable std::mutex mu_;

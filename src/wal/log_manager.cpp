@@ -153,6 +153,11 @@ Status LogManager::FlushLocked() {
     consecutive_flush_failures_ = 0;
   } else {
     ++consecutive_flush_failures_;
+    // First failure of a streak: let the flight recorder capture the WAL
+    // state before (and whether or not) the health monitor trips below.
+    if (consecutive_flush_failures_ == 1 && flush_failure_observer_) {
+      flush_failure_observer_(s);
+    }
     if (health_ != nullptr && flush_failure_threshold_ > 0) {
       if (consecutive_flush_failures_ >= 2 * flush_failure_threshold_) {
         health_->Trip(EngineHealth::kFailed,

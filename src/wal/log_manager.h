@@ -128,6 +128,34 @@ class LogManager {
     flush_failure_threshold_ = failure_threshold;
   }
 
+  /// Observer invoked on the FIRST tail-flush failure of a consecutive
+  /// streak (later failures of the same streak stay silent; a success resets
+  /// the streak). Runs under the log mutex on the flushing thread, so it
+  /// must not call back into any LogManager method that takes mu_ — the
+  /// lock-free accessors (next_lsn/flushed_lsn/last_lsn/LastBatchWindow)
+  /// are safe. The flight recorder uses this to force-capture on the
+  /// flush-failure path before the health monitor would trip.
+  void SetFlushFailureObserver(std::function<void(const Status&)> obs) {
+    std::lock_guard<std::mutex> lk(mu_);
+    flush_failure_observer_ = std::move(obs);
+  }
+
+  /// Wall-clock phases (MonotonicNowNs) of the most recent successful tail
+  /// flush: batch start, pwrite done, fdatasync done. All zero before the
+  /// first flush. Lock-free.
+  struct BatchWindow {
+    uint64_t start_ns = 0;
+    uint64_t write_done_ns = 0;
+    uint64_t fsync_done_ns = 0;
+  };
+  BatchWindow LastBatchWindow() const {
+    BatchWindow w;
+    w.start_ns = last_batch_start_ns_.load(std::memory_order_relaxed);
+    w.write_done_ns = last_batch_write_ns_.load(std::memory_order_relaxed);
+    w.fsync_done_ns = last_batch_fsync_ns_.load(std::memory_order_relaxed);
+    return w;
+  }
+
   /// Observer invoked inside the append critical section with
   /// (page_id, lsn) for every redoable page record. The buffer pool uses it
   /// to register the page as dirty *atomically with the append*: callers
@@ -180,6 +208,7 @@ class LogManager {
   HealthMonitor* health_ = nullptr;
   uint32_t flush_failure_threshold_ = 0;
   uint32_t consecutive_flush_failures_ = 0;  // under mu_
+  std::function<void(const Status&)> flush_failure_observer_;  // under mu_
   std::function<void(PageId, Lsn)> append_observer_;
   int fd_ = -1;
 

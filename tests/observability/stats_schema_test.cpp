@@ -108,9 +108,11 @@ TEST(StatsSchema, DatabaseStatsTopLevelKeys) {
   // Top-level sections, each exactly once.
   for (const char* key :
        {"\"health\":", "\"metrics\":", "\"commit_breakdown\":", "\"restart\":",
-        "\"trace\":"}) {
+        "\"last_incident\":", "\"trace\":"}) {
     EXPECT_EQ(CountOccurrences(j, key), 1u) << key << ": " << j;
   }
+  // Fresh directory: no prior incarnation, so no incident record.
+  EXPECT_NE(j.find("\"last_incident\":null"), std::string::npos) << j;
   // The full metrics inventory is embedded, not a subset.
   const char* const* cnames = Metrics::CounterNames();
   for (size_t i = 0; i < Metrics::kCounterCount; ++i) {

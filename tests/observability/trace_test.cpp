@@ -146,6 +146,61 @@ TEST_F(TraceTest, EnableDisableRacesWithRecorders) {
   (void)Tracer::Instance().DumpJson();  // still serializable afterwards
 }
 
+TEST_F(TraceTest, DumpRacesRecordersAcrossEnableFlips) {
+  // A dedicated dumper thread serializes the ring (full dumps and bounded
+  // excerpts, as the flight recorder takes them) while recorder threads
+  // hammer and a flipper toggles the enable flag. Every dump must be
+  // well-formed JSON regardless of where the toggle or the recorders caught
+  // the ring; both sanitizer legs run this.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&stop] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ARIES_TRACE_SPAN(span, "test.dumprace", TraceCat::kBtree, i++);
+        ARIES_TRACE_INSTANT("test.dumprace_i", TraceCat::kBtree, i);
+      }
+    });
+  }
+  std::thread flipper([&stop] {
+    bool on = true;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (on) {
+        Tracer::Instance().Enable();
+      } else {
+        Tracer::Instance().Disable();
+      }
+      on = !on;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    std::string json = (i % 2 == 0) ? Tracer::Instance().DumpJson()
+                                    : Tracer::Instance().DumpJson(16);
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{') << json.substr(0, 80);
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  }
+  stop.store(true);
+  flipper.join();
+  for (auto& w : workers) w.join();
+  Tracer::Instance().Disable();
+}
+
+TEST_F(TraceTest, DumpExcerptKeepsNewestAndCountsDropped) {
+  Tracer::Instance().Enable();
+  for (int i = 0; i < 50; ++i) {
+    ARIES_TRACE_INSTANT("test.excerpt", TraceCat::kBtree, i);
+  }
+  Tracer::Instance().Disable();
+  std::string json = Tracer::Instance().DumpJson(10);
+  // Newest event survives, oldest does not, and the truncation is counted.
+  EXPECT_NE(json.find("\"args\":{\"arg\":49}"), std::string::npos);
+  EXPECT_EQ(json.find("\"args\":{\"arg\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"excerptDropped\":\"40\""), std::string::npos) << json;
+}
+
 TEST_F(TraceTest, ClearDropsBufferedEvents) {
   Tracer::Instance().Enable();
   ARIES_TRACE_INSTANT("test.cleared", TraceCat::kTxn, 1);

@@ -20,6 +20,7 @@
 //   .locks [dot|json]            lock-table snapshot + deadlock postmortems
 //   .trace on|off|dump [path]    event tracer control (see docs/OBSERVABILITY.md)
 //   .metrics                     OpenMetrics/Prometheus text exposition
+//   .incident [reason]           last black-box record / force a capture
 //   .watch [ms] [n]              live top-counters + commit-breakdown view
 #include <algorithm>
 #include <chrono>
@@ -104,6 +105,8 @@ void Shell::Execute(const std::vector<std::string>& tok) {
         ".trace dump [path]          write Chrome trace JSON (default "
         "trace.json)\n"
         ".metrics                    OpenMetrics/Prometheus exposition\n"
+        ".incident [reason]          show the last black-box incident; with\n"
+        "                            a reason, capture one first\n"
         ".watch [ms] [n]             redraw top counters, rates and commit\n"
         "                            breakdown every ms (default 1000), n\n"
         "                            times (default 10)\n");
@@ -273,6 +276,37 @@ void Shell::Execute(const std::vector<std::string>& tok) {
   }
   if (cmd == ".stats") {
     std::printf("%s\n", db->Stats().ToJson().c_str());
+    return;
+  }
+  if (cmd == ".incident") {
+    // With an argument: force a capture first (`.incident disk smells off`),
+    // then show what is on disk. Without: the previous incarnation's record.
+    if (tok.size() >= 2) {
+      std::string reason;
+      for (size_t i = 1; i < tok.size(); ++i) {
+        if (i > 1) reason += ' ';
+        reason += tok[i];
+      }
+      Status s = db->CaptureIncident(reason);
+      if (!s.ok()) {
+        std::printf("capture failed: %s\n", s.ToString().c_str());
+        return;
+      }
+      std::string json;
+      s = BlackBox::ReadFile(db->blackbox()->path(), &json);
+      if (!s.ok()) {
+        std::printf("read failed: %s\n", s.ToString().c_str());
+        return;
+      }
+      std::printf("%s\n", json.c_str());
+      return;
+    }
+    const std::string& last = db->last_incident_json();
+    if (last.empty()) {
+      std::printf("no incident record (fresh directory, or recorder off)\n");
+    } else {
+      std::printf("%s\n", last.c_str());
+    }
     return;
   }
   if (cmd == ".locks") {

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# check_blackbox.sh — lint the flight recorder's record schema (PR 10).
+#
+# Sibling of check_openmetrics.sh: runs `blackbox_dump --selftest` (capture
+# an incident, crash, reopen so the record is annotated, dump it) and checks
+# the dump's structural invariants:
+#   * the record parses (blackbox_dump exits 0)
+#   * the envelope fields are present: seq, trigger, ts_unix_ms, version
+#   * the engine-state sections are present: health, wal LSNs, fault state,
+#     restart stats, commit_breakdown, locks, trace excerpt, openmetrics
+#   * the reopen annotated the record (recovery: mode=...)
+#   * the selftest's forced incident is reflected (trigger=simulate_crash,
+#     incident trigger=manual from CaptureIncident)
+#
+# Usage:
+#   tools/check_blackbox.sh                    # builds input via blackbox_dump
+#   tools/check_blackbox.sh dump.txt           # lint an existing dump output
+#   BLACKBOX_DUMP=path tools/check_blackbox.sh # explicit binary location
+set -u
+
+cd "$(dirname "$0")/.."
+
+INPUT=""
+if [ $# -ge 1 ] && [ -f "$1" ]; then
+  INPUT="$1"
+else
+  DUMP_BIN="${BLACKBOX_DUMP:-build/examples/blackbox_dump}"
+  if [ ! -x "$DUMP_BIN" ]; then
+    echo "check_blackbox: $DUMP_BIN not built (cmake --build build)" >&2
+    exit 1
+  fi
+  INPUT=$(mktemp /tmp/blackbox_dump.XXXXXX)
+  trap 'rm -f "$INPUT"' EXIT
+  if ! "$DUMP_BIN" --selftest > "$INPUT"; then
+    echo "check_blackbox: blackbox_dump --selftest failed" >&2
+    cat "$INPUT" >&2
+    exit 1
+  fi
+fi
+
+awk '
+function fail(msg) { printf("FAIL: %s\n", msg); bad = 1 }
+
+/^blackbox: /  { saw_header = 1
+                 if ($0 !~ /parse OK/) fail("header does not say parse OK") }
+/^seq=/        { saw_seq = 1
+                 if ($0 !~ /trigger=[a-z_]+/) fail("no trigger on seq line")
+                 if ($0 !~ /reason="/) fail("no reason on seq line") }
+/^captured: /  { saw_captured = 1
+                 if ($0 !~ /ts_unix_ms=[0-9]+/) fail("bad ts_unix_ms")
+                 if ($0 !~ /version=1/) fail("record version is not 1") }
+/^health: /    { saw_health = 1
+                 if ($0 !~ /health: (healthy|read-only|failed) /)
+                   fail("unknown health state: " $0) }
+/^wal: /       { saw_wal = 1
+                 if ($0 !~ /durable_lsn=[0-9]+/) fail("bad wal.durable_lsn")
+                 if ($0 !~ /next_lsn=[0-9]+/) fail("bad wal.next_lsn") }
+/^fault: /     { saw_fault = 1
+                 if ($0 !~ /kind=[a-z?-]+/) fail("bad fault.kind")
+                 if ($0 !~ /fires=[0-9]+/) fail("bad fault.fires") }
+/^restart: /   { saw_restart = 1 }
+/^incident: /  { saw_incident = 1 }
+/^recovery: /  { saw_recovery = 1
+                 if ($0 !~ /mode=(classic|instant|none)/)
+                   fail("record not annotated with a recovery mode: " $0) }
+/^sections: /  { saw_sections = 1
+                 if ($0 !~ /commit_breakdown=yes/) fail("no commit_breakdown")
+                 if ($0 !~ /locks=yes/) fail("no locks section")
+                 if ($0 !~ /trace_excerpt=yes/) fail("no trace excerpt")
+                 if ($0 !~ /openmetrics=yes/) fail("no openmetrics section") }
+
+END {
+  if (!saw_header)   fail("missing blackbox header line")
+  if (!saw_seq)      fail("missing seq/trigger line")
+  if (!saw_captured) fail("missing captured line")
+  if (!saw_health)   fail("missing health line")
+  if (!saw_wal)      fail("missing wal line")
+  if (!saw_fault)    fail("missing fault line")
+  if (!saw_restart)  fail("missing restart line")
+  if (!saw_incident) fail("missing incident line")
+  if (!saw_recovery) fail("missing recovery annotation line")
+  if (!saw_sections) fail("missing sections line")
+  if (bad) exit 1
+  printf("check_blackbox: OK\n")
+}
+' "$INPUT"
+exit $?

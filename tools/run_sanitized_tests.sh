@@ -19,8 +19,11 @@
 # PR 9 — commit critical-path attribution (TLS breakdown binding vs the
 # group-commit flusher's batch-phase timestamps, multithreaded commit
 # harvest) plus the background metrics sampler (start/stop lifecycle,
-# sampling concurrent with recording threads) — the TSan leg is what
-# certifies them data-race-free (see docs/OBSERVABILITY.md).
+# sampling concurrent with recording threads) and — since PR 10 — the
+# flight recorder (cadence thread vs forced captures, trip/flush-failure
+# observers firing from engine threads, trace dumps racing recorders
+# across enable flips) — the TSan leg is what certifies them
+# data-race-free (see docs/OBSERVABILITY.md).
 # Stress-test seed lists can be narrowed for quicker sanitized runs:
 #   ARIESIM_STRESS_SEEDS=1-4 tools/run_sanitized_tests.sh thread
 set -euo pipefail
